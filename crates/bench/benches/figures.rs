@@ -1,0 +1,131 @@
+//! Criterion benchmarks, one group per paper table/figure.
+//!
+//! Each benchmark regenerates the corresponding experiment at a reduced
+//! trace scale (so a full `cargo bench` stays tractable) and reports the
+//! wall-clock cost of reproducing it. The harness binary (`alecto-harness`)
+//! runs the same experiments at full scale and prints the result tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{figures, RunScale};
+
+fn bench_scale() -> RunScale {
+    RunScale { accesses: 2_000, multicore_accesses: 800 }
+}
+
+fn fig01_table_misses(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig01_table_misses", |b| b.iter(|| figures::fig1(&scale)));
+}
+
+fn fig02_gemsfdtd_patterns(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig02_gemsfdtd_patterns", |b| b.iter(|| figures::fig2(&scale)));
+}
+
+fn table1_system_config(c: &mut Criterion) {
+    c.bench_function("table1_system_config", |b| b.iter(figures::table1));
+}
+
+fn table2_prefetchers(c: &mut Criterion) {
+    c.bench_function("table2_prefetchers", |b| b.iter(figures::table2));
+}
+
+fn table3_storage(c: &mut Criterion) {
+    c.bench_function("table3_storage", |b| b.iter(figures::table3));
+}
+
+fn fig08_spec06_speedup(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig08_spec06_speedup", |b| b.iter(|| figures::fig8(&scale)));
+}
+
+fn fig09_spec17_speedup(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig09_spec17_speedup", |b| b.iter(|| figures::fig9(&scale)));
+}
+
+fn fig10_prefetch_metrics(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig10_prefetch_metrics", |b| b.iter(|| figures::fig10(&scale)));
+}
+
+fn fig11_alt_composite(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig11_alt_composite", |b| b.iter(|| figures::fig11(&scale)));
+}
+
+fn fig12_noncomposite(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig12_noncomposite", |b| b.iter(|| figures::fig12(&scale)));
+}
+
+fn fig13_temporal(c: &mut Criterion) {
+    let scale = RunScale { accesses: 1_000, multicore_accesses: 400 };
+    c.bench_function("fig13_temporal", |b| b.iter(|| figures::fig13(&scale)));
+}
+
+fn fig14_metadata_sweep(c: &mut Criterion) {
+    let scale = RunScale { accesses: 600, multicore_accesses: 300 };
+    c.bench_function("fig14_metadata_sweep", |b| b.iter(|| figures::fig14(&scale)));
+}
+
+fn fig15_llc_sweep(c: &mut Criterion) {
+    let scale = RunScale { accesses: 800, multicore_accesses: 400 };
+    c.bench_function("fig15_llc_sweep", |b| b.iter(|| figures::fig15(&scale)));
+}
+
+fn fig16_dram_bw(c: &mut Criterion) {
+    let scale = RunScale { accesses: 800, multicore_accesses: 400 };
+    c.bench_function("fig16_dram_bw", |b| b.iter(|| figures::fig16(&scale)));
+}
+
+fn fig17_multicore(c: &mut Criterion) {
+    let scale = RunScale { accesses: 800, multicore_accesses: 400 };
+    c.bench_function("fig17_multicore", |b| b.iter(|| figures::fig17(&scale)));
+}
+
+fn fig18_training_energy(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig18_training_energy", |b| b.iter(|| figures::fig18(&scale)));
+}
+
+fn fig19_ablation(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig19_ablation", |b| b.iter(|| figures::fig19(&scale)));
+}
+
+fn fig20_ppf(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig20_ppf", |b| b.iter(|| figures::fig20(&scale)));
+}
+
+fn vi_h_extended_bandit(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("vi_h_extended_bandit", |b| b.iter(|| figures::bandit_extended(&scale)));
+}
+
+criterion_group! {
+    name = figures_group;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig01_table_misses,
+        fig02_gemsfdtd_patterns,
+        table1_system_config,
+        table2_prefetchers,
+        table3_storage,
+        fig08_spec06_speedup,
+        fig09_spec17_speedup,
+        fig10_prefetch_metrics,
+        fig11_alt_composite,
+        fig12_noncomposite,
+        fig13_temporal,
+        fig14_metadata_sweep,
+        fig15_llc_sweep,
+        fig16_dram_bw,
+        fig17_multicore,
+        fig18_training_energy,
+        fig19_ablation,
+        fig20_ppf,
+        vi_h_extended_bandit,
+}
+criterion_main!(figures_group);

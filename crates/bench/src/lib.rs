@@ -1,0 +1,3 @@
+//! Bench-only crate: the Criterion benchmark targets live in `benches/`.
+//! One group per paper table/figure (`figures.rs`) plus micro-benchmarks of
+//! the substrate (`microbench.rs`).

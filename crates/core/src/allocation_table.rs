@@ -1,0 +1,301 @@
+//! The Allocation Table (Fig. 4): a 64-entry, PC-indexed table storing the
+//! state of every prefetcher for every tracked memory-access instruction.
+//!
+//! The table is the decision point of dynamic demand request allocation: a
+//! lookup with the demand request's PC yields the per-prefetcher states, from
+//! which the identifier (which prefetchers may train and with what degree) is
+//! derived.
+
+use alecto_types::Pc;
+
+use crate::config::AlectoConfig;
+use crate::state::{transition, PrefetcherState, StateTransitionInput};
+
+#[derive(Debug, Clone)]
+struct AllocationEntry {
+    pc: Pc,
+    states: Vec<PrefetcherState>,
+    lru: u64,
+}
+
+/// The PC-indexed Allocation Table.
+#[derive(Debug, Clone)]
+pub struct AllocationTable {
+    entries: Vec<Option<AllocationEntry>>,
+    prefetchers: usize,
+    lru_clock: u64,
+    evictions: u64,
+}
+
+impl AllocationTable {
+    /// Creates an allocation table for `prefetchers` prefetchers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `prefetchers` is zero.
+    #[must_use]
+    pub fn new(entries: usize, prefetchers: usize) -> Self {
+        assert!(entries > 0, "allocation table needs entries");
+        assert!(prefetchers > 0, "allocation table needs at least one prefetcher");
+        Self { entries: vec![None; entries], prefetchers, lru_clock: 0, evictions: 0 }
+    }
+
+    /// Number of prefetchers tracked per entry.
+    #[must_use]
+    pub const fn prefetchers(&self) -> usize {
+        self.prefetchers
+    }
+
+    /// Number of entries evicted so far (capacity pressure indicator).
+    #[must_use]
+    pub const fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn find(&self, pc: Pc) -> Option<usize> {
+        self.entries.iter().position(|e| e.as_ref().map(|e| e.pc) == Some(pc))
+    }
+
+    /// Returns the states of `pc`, allocating a fresh all-UI entry if the PC
+    /// has not been seen (or has been evicted since).
+    pub fn lookup_or_insert(&mut self, pc: Pc) -> &[PrefetcherState] {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let slot = match self.find(pc) {
+            Some(i) => i,
+            None => {
+                let slot = if let Some(i) = self.entries.iter().position(Option::is_none) {
+                    i
+                } else {
+                    let victim = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.as_ref().map(|e| e.lru).unwrap_or(0))
+                        .map(|(i, _)| i)
+                        .expect("table non-empty");
+                    self.evictions += 1;
+                    victim
+                };
+                self.entries[slot] = Some(AllocationEntry {
+                    pc,
+                    states: vec![PrefetcherState::Unidentified; self.prefetchers],
+                    lru: clock,
+                });
+                slot
+            }
+        };
+        let entry = self.entries[slot].as_mut().expect("slot filled above");
+        entry.lru = clock;
+        &self.entries[slot].as_ref().expect("slot filled above").states
+    }
+
+    /// Returns the states of `pc` without allocating, if present.
+    #[must_use]
+    pub fn get(&self, pc: Pc) -> Option<&[PrefetcherState]> {
+        self.find(pc).map(|i| self.entries[i].as_ref().expect("found index is occupied").states.as_slice())
+    }
+
+    /// Resets every prefetcher of `pc` back to UI (the dead-counter recovery
+    /// path of §IV-C). Does nothing if the PC is not tracked.
+    pub fn reset_to_unidentified(&mut self, pc: Pc) {
+        if let Some(i) = self.find(pc) {
+            let entry = self.entries[i].as_mut().expect("found index is occupied");
+            for s in &mut entry.states {
+                *s = PrefetcherState::Unidentified;
+            }
+        }
+    }
+
+    /// Applies one epoch-boundary transition for `pc` given each prefetcher's
+    /// measured accuracy and whether it is a temporal prefetcher.
+    ///
+    /// Returns the new states (empty if the PC is untracked).
+    pub fn epoch_transition(
+        &mut self,
+        pc: Pc,
+        accuracies: &[Option<f64>],
+        is_temporal: &[bool],
+        config: &AlectoConfig,
+    ) -> Vec<PrefetcherState> {
+        let Some(i) = self.find(pc) else {
+            return Vec::new();
+        };
+        let entry = self.entries[i].as_mut().expect("found index is occupied");
+        assert_eq!(accuracies.len(), entry.states.len(), "one accuracy per prefetcher");
+        assert_eq!(is_temporal.len(), entry.states.len(), "one temporal flag per prefetcher");
+
+        let pb = config.proficiency_boundary;
+        // Which prefetchers qualify for promotion this epoch?
+        let promotable: Vec<bool> = entry
+            .states
+            .iter()
+            .zip(accuracies)
+            .map(|(s, acc)| {
+                matches!(s, PrefetcherState::Unidentified) && acc.map(|a| a >= pb).unwrap_or(false)
+            })
+            .collect();
+        let non_temporal_promotable =
+            promotable.iter().zip(is_temporal).any(|(&p, &t)| p && !t);
+        let any_promotable = promotable.iter().any(|&p| p);
+
+        let mut new_states: Vec<PrefetcherState> = entry
+            .states
+            .iter()
+            .enumerate()
+            .map(|(j, &s)| {
+                let input = StateTransitionInput {
+                    accuracy: accuracies[j],
+                    another_promoted: any_promotable && !promotable[j],
+                    temporal_demotion: promotable[j] && is_temporal[j] && non_temporal_promotable,
+                };
+                transition(s, input, config)
+            })
+            .collect();
+
+        // Event ②/③ follow-up: if no prefetcher remains aggressive, thawed
+        // (IB_0) prefetchers are reconsidered, i.e. moved back to UI.
+        let any_aggressive = new_states.iter().any(PrefetcherState::is_aggressive);
+        if !any_aggressive {
+            for s in &mut new_states {
+                if *s == PrefetcherState::Blocked(0) {
+                    *s = PrefetcherState::Unidentified;
+                }
+            }
+        }
+        entry.states = new_states.clone();
+        new_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AlectoConfig {
+        AlectoConfig::default()
+    }
+
+    #[test]
+    fn new_pc_starts_all_unidentified() {
+        let mut t = AllocationTable::new(64, 3);
+        let states = t.lookup_or_insert(Pc::new(0x40));
+        assert_eq!(states, &[PrefetcherState::Unidentified; 3]);
+        assert_eq!(t.prefetchers(), 3);
+    }
+
+    #[test]
+    fn promotion_blocks_the_losers() {
+        let mut t = AllocationTable::new(64, 3);
+        t.lookup_or_insert(Pc::new(0x40));
+        let states = t.epoch_transition(
+            Pc::new(0x40),
+            &[Some(0.9), Some(0.3), Some(0.5)],
+            &[false, false, false],
+            &cfg(),
+        );
+        assert_eq!(states[0], PrefetcherState::Aggressive(0));
+        assert_eq!(states[1], PrefetcherState::Blocked(0));
+        assert_eq!(states[2], PrefetcherState::Blocked(0));
+    }
+
+    #[test]
+    fn temporal_prefetcher_loses_ties_to_non_temporal() {
+        let mut t = AllocationTable::new(64, 2);
+        t.lookup_or_insert(Pc::new(0x44));
+        let states = t.epoch_transition(
+            Pc::new(0x44),
+            &[Some(0.9), Some(0.95)],
+            &[false, true],
+            &cfg(),
+        );
+        assert_eq!(states[0], PrefetcherState::Aggressive(0));
+        assert_eq!(states[1], PrefetcherState::Blocked(0), "temporal prefetcher should be demoted");
+    }
+
+    #[test]
+    fn temporal_prefetcher_promotes_when_alone() {
+        let mut t = AllocationTable::new(64, 2);
+        t.lookup_or_insert(Pc::new(0x48));
+        let states = t.epoch_transition(
+            Pc::new(0x48),
+            &[Some(0.2), Some(0.95)],
+            &[false, true],
+            &cfg(),
+        );
+        assert_eq!(states[1], PrefetcherState::Aggressive(0));
+    }
+
+    #[test]
+    fn deficient_prefetcher_blocked_for_n_epochs_then_reconsidered() {
+        let cfg = cfg();
+        let mut t = AllocationTable::new(64, 2);
+        t.lookup_or_insert(Pc::new(0x4c));
+        // Epoch 1: prefetcher 0 below DB → IB_-N; prefetcher 1 middling → UI.
+        let s = t.epoch_transition(Pc::new(0x4c), &[Some(0.0), Some(0.3)], &[false, false], &cfg);
+        assert_eq!(s[0], PrefetcherState::Blocked(cfg.blocked_epochs));
+        // Thaw for N epochs with no other activity.
+        for _ in 0..cfg.blocked_epochs {
+            t.epoch_transition(Pc::new(0x4c), &[None, None], &[false, false], &cfg);
+        }
+        // Having reached IB_0 with no aggressive prefetcher, it is reconsidered.
+        let s = t.get(Pc::new(0x4c)).unwrap();
+        assert_eq!(s[0], PrefetcherState::Unidentified);
+    }
+
+    #[test]
+    fn blocked_prefetcher_stays_blocked_while_another_is_aggressive() {
+        let cfg = cfg();
+        let mut t = AllocationTable::new(64, 2);
+        t.lookup_or_insert(Pc::new(0x50));
+        // Prefetcher 0 promoted, prefetcher 1 blocked.
+        t.epoch_transition(Pc::new(0x50), &[Some(0.9), Some(0.2)], &[false, false], &cfg);
+        // Many epochs with prefetcher 0 staying accurate.
+        for _ in 0..12 {
+            t.epoch_transition(Pc::new(0x50), &[Some(0.9), None], &[false, false], &cfg);
+        }
+        let s = t.get(Pc::new(0x50)).unwrap();
+        assert!(s[0].is_aggressive());
+        assert_eq!(s[1], PrefetcherState::Blocked(0), "IB_0 is held while another prefetcher is IA");
+    }
+
+    #[test]
+    fn reset_to_unidentified_clears_states() {
+        let mut t = AllocationTable::new(64, 3);
+        t.lookup_or_insert(Pc::new(0x54));
+        t.epoch_transition(Pc::new(0x54), &[Some(0.9), Some(0.0), Some(0.0)], &[false; 3], &cfg());
+        t.reset_to_unidentified(Pc::new(0x54));
+        assert_eq!(t.get(Pc::new(0x54)).unwrap(), &[PrefetcherState::Unidentified; 3]);
+        // Resetting an unknown PC is a no-op.
+        t.reset_to_unidentified(Pc::new(0xdead));
+    }
+
+    #[test]
+    fn capacity_eviction_forgets_oldest_pc() {
+        let mut t = AllocationTable::new(4, 1);
+        for pc in 0..6u64 {
+            t.lookup_or_insert(Pc::new(pc));
+        }
+        assert!(t.evictions() >= 2);
+        assert!(t.get(Pc::new(0)).is_none(), "oldest PC should have been evicted");
+        assert!(t.get(Pc::new(5)).is_some());
+    }
+
+    #[test]
+    fn untracked_pc_transition_is_empty() {
+        let mut t = AllocationTable::new(8, 2);
+        let s = t.epoch_transition(Pc::new(0x99), &[None, None], &[false, false], &cfg());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn aggressive_climb_through_epochs() {
+        let cfg = cfg();
+        let mut t = AllocationTable::new(8, 1);
+        t.lookup_or_insert(Pc::new(0x58));
+        for _ in 0..8 {
+            t.epoch_transition(Pc::new(0x58), &[Some(0.95)], &[false], &cfg);
+        }
+        assert_eq!(t.get(Pc::new(0x58)).unwrap()[0], PrefetcherState::Aggressive(cfg.max_aggressive));
+    }
+}

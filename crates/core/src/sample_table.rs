@@ -1,0 +1,288 @@
+//! The Sample Table (Fig. 4): per-PC runtime metrics feeding the Allocation
+//! Table's state transitions.
+//!
+//! Each entry tracks, for its PC: the number of prefetches issued by each
+//! prefetcher ("IssuedByP_i"), how many of them were confirmed by later demand
+//! requests ("ConfirmedP_i"), the Demand Counter that defines the per-PC epoch
+//! (threshold 100), and the Dead Counter that detects PCs stuck in an IA state
+//! without producing prefetches (threshold 150).
+
+use alecto_types::{Pc, RatioCounter};
+
+use crate::config::AlectoConfig;
+
+#[derive(Debug, Clone)]
+struct SampleEntry {
+    pc: Pc,
+    per_prefetcher: Vec<RatioCounter>,
+    demand_counter: u32,
+    dead_counter: u32,
+    lru: u64,
+}
+
+/// What the Sample Table asks the selector to do after recording a demand
+/// access for a PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleEvent {
+    /// Keep going; no threshold reached.
+    None,
+    /// The Demand Counter reached the epoch length: run an Allocation Table
+    /// state transition with the accuracies included here (indexed per
+    /// prefetcher; `None` means the prefetcher issued nothing this epoch).
+    EpochBoundary,
+    /// The Dead Counter saturated: reset the PC's states back to UI.
+    DeadlockReset,
+}
+
+/// The PC-indexed Sample Table.
+#[derive(Debug, Clone)]
+pub struct SampleTable {
+    entries: Vec<Option<SampleEntry>>,
+    prefetchers: usize,
+    lru_clock: u64,
+    evictions: u64,
+}
+
+impl SampleTable {
+    /// Creates a sample table for `prefetchers` prefetchers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `prefetchers` is zero.
+    #[must_use]
+    pub fn new(entries: usize, prefetchers: usize) -> Self {
+        assert!(entries > 0, "sample table needs entries");
+        assert!(prefetchers > 0, "sample table needs at least one prefetcher");
+        Self { entries: vec![None; entries], prefetchers, lru_clock: 0, evictions: 0 }
+    }
+
+    /// Number of entries evicted due to capacity pressure.
+    #[must_use]
+    pub const fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn find(&self, pc: Pc) -> Option<usize> {
+        self.entries.iter().position(|e| e.as_ref().map(|e| e.pc) == Some(pc))
+    }
+
+    fn slot_for(&mut self, pc: Pc) -> usize {
+        if let Some(i) = self.find(pc) {
+            return i;
+        }
+        let slot = if let Some(i) = self.entries.iter().position(Option::is_none) {
+            i
+        } else {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.as_ref().map(|e| e.lru).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("table non-empty");
+            self.evictions += 1;
+            victim
+        };
+        self.entries[slot] = Some(SampleEntry {
+            pc,
+            per_prefetcher: vec![RatioCounter::new(); self.prefetchers],
+            demand_counter: 0,
+            dead_counter: 0,
+            lru: 0,
+        });
+        slot
+    }
+
+    /// Records one demand access from `pc` and returns what (if anything) the
+    /// selector must do in response.
+    pub fn record_demand(&mut self, pc: Pc, config: &AlectoConfig) -> SampleEvent {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let slot = self.slot_for(pc);
+        let entry = self.entries[slot].as_mut().expect("slot filled above");
+        entry.lru = clock;
+        entry.demand_counter += 1;
+        if entry.dead_counter >= config.dead_threshold {
+            entry.dead_counter = 0;
+            return SampleEvent::DeadlockReset;
+        }
+        if entry.demand_counter >= config.epoch_demands {
+            return SampleEvent::EpochBoundary;
+        }
+        SampleEvent::None
+    }
+
+    /// Records `count` prefetch requests issued by prefetcher `prefetcher` on
+    /// behalf of `pc`.
+    pub fn record_issued(&mut self, pc: Pc, prefetcher: usize, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let slot = self.slot_for(pc);
+        let entry = self.entries[slot].as_mut().expect("slot filled above");
+        entry.per_prefetcher[prefetcher].record_issued(count);
+    }
+
+    /// Records that a previously issued prefetch of prefetcher `prefetcher`
+    /// was confirmed by a demand request from `pc`.
+    pub fn record_confirmed(&mut self, pc: Pc, prefetcher: usize) {
+        let slot = self.slot_for(pc);
+        let entry = self.entries[slot].as_mut().expect("slot filled above");
+        entry.per_prefetcher[prefetcher].record_confirmed();
+    }
+
+    /// Bumps the Dead Counter (no prefetch was generated for a prediction) or
+    /// decays it (a prefetch was generated).
+    pub fn record_prediction_outcome(&mut self, pc: Pc, generated_prefetch: bool) {
+        let slot = self.slot_for(pc);
+        let entry = self.entries[slot].as_mut().expect("slot filled above");
+        if generated_prefetch {
+            entry.dead_counter = entry.dead_counter.saturating_sub(1);
+        } else {
+            entry.dead_counter += 1;
+        }
+    }
+
+    /// Per-prefetcher accuracies of `pc` for the current epoch (`None` for
+    /// prefetchers that issued nothing).
+    #[must_use]
+    pub fn accuracies(&self, pc: Pc) -> Vec<Option<f64>> {
+        match self.find(pc) {
+            Some(i) => self.entries[i]
+                .as_ref()
+                .expect("found index occupied")
+                .per_prefetcher
+                .iter()
+                .map(RatioCounter::accuracy)
+                .collect(),
+            None => vec![None; self.prefetchers],
+        }
+    }
+
+    /// Clears the per-epoch counters of `pc` (issued/confirmed and the Demand
+    /// Counter). The Dead Counter intentionally survives (§IV-C).
+    pub fn reset_epoch(&mut self, pc: Pc) {
+        if let Some(i) = self.find(pc) {
+            let entry = self.entries[i].as_mut().expect("found index occupied");
+            for c in &mut entry.per_prefetcher {
+                c.reset();
+            }
+            entry.demand_counter = 0;
+        }
+    }
+
+    /// Current Dead Counter of `pc` (testing/diagnostics).
+    #[must_use]
+    pub fn dead_counter(&self, pc: Pc) -> u32 {
+        self.find(pc)
+            .map(|i| self.entries[i].as_ref().expect("found index occupied").dead_counter)
+            .unwrap_or(0)
+    }
+
+    /// Current Demand Counter of `pc` (testing/diagnostics).
+    #[must_use]
+    pub fn demand_counter(&self, pc: Pc) -> u32 {
+        self.find(pc)
+            .map(|i| self.entries[i].as_ref().expect("found index occupied").demand_counter)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AlectoConfig {
+        AlectoConfig::default()
+    }
+
+    #[test]
+    fn epoch_boundary_after_100_demands() {
+        let mut t = SampleTable::new(64, 3);
+        let pc = Pc::new(0x40);
+        for i in 1..100 {
+            assert_eq!(t.record_demand(pc, &cfg()), SampleEvent::None, "demand {i}");
+        }
+        assert_eq!(t.record_demand(pc, &cfg()), SampleEvent::EpochBoundary);
+        assert_eq!(t.demand_counter(pc), 100);
+        t.reset_epoch(pc);
+        assert_eq!(t.demand_counter(pc), 0);
+    }
+
+    #[test]
+    fn accuracy_tracks_issued_and_confirmed() {
+        let mut t = SampleTable::new(64, 2);
+        let pc = Pc::new(0x44);
+        t.record_issued(pc, 0, 4);
+        t.record_confirmed(pc, 0);
+        t.record_confirmed(pc, 0);
+        t.record_issued(pc, 1, 10);
+        let acc = t.accuracies(pc);
+        assert_eq!(acc[0], Some(0.5));
+        assert_eq!(acc[1], Some(0.0));
+        // Unknown PC yields all-None.
+        assert_eq!(t.accuracies(Pc::new(0x9999)), vec![None, None]);
+    }
+
+    #[test]
+    fn epoch_reset_clears_ratio_but_not_dead_counter() {
+        let mut t = SampleTable::new(64, 1);
+        let pc = Pc::new(0x48);
+        t.record_issued(pc, 0, 8);
+        for _ in 0..5 {
+            t.record_prediction_outcome(pc, false);
+        }
+        t.reset_epoch(pc);
+        assert_eq!(t.accuracies(pc)[0], None);
+        assert_eq!(t.dead_counter(pc), 5, "the Dead Counter is not reset with the epoch");
+    }
+
+    #[test]
+    fn dead_counter_saturation_triggers_reset_event() {
+        let cfg = cfg();
+        let mut t = SampleTable::new(64, 1);
+        let pc = Pc::new(0x4c);
+        for _ in 0..cfg.dead_threshold {
+            t.record_prediction_outcome(pc, false);
+        }
+        // The next demand observes the saturated counter.
+        assert_eq!(t.record_demand(pc, &cfg), SampleEvent::DeadlockReset);
+        assert_eq!(t.dead_counter(pc), 0, "the reset event clears the dead counter");
+    }
+
+    #[test]
+    fn successful_predictions_decay_dead_counter() {
+        let mut t = SampleTable::new(64, 1);
+        let pc = Pc::new(0x50);
+        for _ in 0..10 {
+            t.record_prediction_outcome(pc, false);
+        }
+        for _ in 0..4 {
+            t.record_prediction_outcome(pc, true);
+        }
+        assert_eq!(t.dead_counter(pc), 6);
+    }
+
+    #[test]
+    fn zero_count_issue_is_a_noop() {
+        let mut t = SampleTable::new(64, 1);
+        let pc = Pc::new(0x54);
+        t.record_issued(pc, 0, 0);
+        assert_eq!(t.accuracies(pc)[0], None);
+    }
+
+    #[test]
+    fn capacity_eviction_counts() {
+        let mut t = SampleTable::new(4, 1);
+        for pc in 0..8u64 {
+            t.record_demand(Pc::new(pc), &cfg());
+        }
+        assert!(t.evictions() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs entries")]
+    fn zero_entries_panics() {
+        let _ = SampleTable::new(0, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! The Sandbox Table (Fig. 4): a small, address-indexed record of recently
+//! issued prefetch requests.
+//!
+//! It serves the two purposes described in §III-B and §IV-D:
+//!
+//! 1. **Usefulness confirmation** — when a later demand request matches an
+//!    entry's tag and its (hashed) PC matches the PC recorded for a
+//!    prefetcher, that prefetcher's Confirmed counter in the Sample Table is
+//!    incremented (step ⑤).
+//! 2. **Prefetch filtering** — a new prefetch request whose address already
+//!    hits in the table is a duplicate and is dropped (step ⑥), which is why
+//!    Alecto does not need the external prefetch filter the baselines get.
+
+use alecto_types::{fold_pc, hash::mix64, LineAddr, Pc};
+
+/// Per-prefetcher slot inside a sandbox entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PrefetcherSlot {
+    valid: bool,
+    pc_hash: u32,
+}
+
+#[derive(Debug, Clone)]
+struct SandboxEntry {
+    /// Partial tag of the prefetched line (6 bits in Table III; the model
+    /// keeps the full line address for exactness and charges only 6 bits).
+    line: LineAddr,
+    slots: Vec<PrefetcherSlot>,
+}
+
+/// The address-indexed Sandbox Table.
+#[derive(Debug, Clone)]
+pub struct SandboxTable {
+    entries: Vec<Option<SandboxEntry>>,
+    prefetchers: usize,
+    pc_hash_bits: u32,
+    recorded: u64,
+    filtered: u64,
+    confirmations: u64,
+}
+
+impl SandboxTable {
+    /// Creates a sandbox table with `entries` direct-mapped slots for
+    /// `prefetchers` prefetchers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two, or `prefetchers` is zero.
+    #[must_use]
+    pub fn new(entries: usize, prefetchers: usize) -> Self {
+        assert!(entries > 0 && entries.is_power_of_two(), "sandbox table must be a power of two");
+        assert!(prefetchers > 0, "sandbox table needs at least one prefetcher");
+        // §IV-C: the PC hash width matches the logarithm of the entry count.
+        let pc_hash_bits = entries.trailing_zeros().max(1);
+        Self {
+            entries: vec![None; entries],
+            prefetchers,
+            pc_hash_bits,
+            recorded: 0,
+            filtered: 0,
+            confirmations: 0,
+        }
+    }
+
+    /// Width of the folded PC hash stored per prefetcher slot.
+    #[must_use]
+    pub const fn pc_hash_bits(&self) -> u32 {
+        self.pc_hash_bits
+    }
+
+    /// Prefetch requests recorded.
+    #[must_use]
+    pub const fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Prefetch requests dropped as duplicates.
+    #[must_use]
+    pub const fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Demand-request confirmations produced.
+    #[must_use]
+    pub const fn confirmations(&self) -> u64 {
+        self.confirmations
+    }
+
+    fn index(&self, line: LineAddr) -> usize {
+        (mix64(line.raw()) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Step ⑥: returns `true` (duplicate, drop the request) if `line` already
+    /// hits in the table; otherwise records the request for `prefetcher`
+    /// triggered by `trigger_pc` and returns `false`.
+    pub fn filter_and_record(&mut self, line: LineAddr, prefetcher: usize, trigger_pc: Pc) -> bool {
+        assert!(prefetcher < self.prefetchers, "prefetcher index out of range");
+        let idx = self.index(line);
+        let pc_hash = fold_pc(trigger_pc, self.pc_hash_bits);
+        match &mut self.entries[idx] {
+            Some(e) if e.line == line => {
+                // Tag hit: duplicate. Still remember that this prefetcher also
+                // wanted the line so it can be credited on confirmation.
+                e.slots[prefetcher] = PrefetcherSlot { valid: true, pc_hash };
+                self.filtered += 1;
+                true
+            }
+            slot => {
+                let mut slots = vec![PrefetcherSlot::default(); self.prefetchers];
+                slots[prefetcher] = PrefetcherSlot { valid: true, pc_hash };
+                *slot = Some(SandboxEntry { line, slots });
+                self.recorded += 1;
+                false
+            }
+        }
+    }
+
+    /// Step ④/⑤: checks an incoming demand request against the table and
+    /// returns the indices of prefetchers whose recorded (hashed) trigger PC
+    /// matches the demand's PC — these get a Confirmed increment.
+    pub fn confirm_demand(&mut self, line: LineAddr, pc: Pc) -> Vec<usize> {
+        let idx = self.index(line);
+        let pc_hash = fold_pc(pc, self.pc_hash_bits);
+        let Some(entry) = &self.entries[idx] else {
+            return Vec::new();
+        };
+        if entry.line != line {
+            return Vec::new();
+        }
+        let matched: Vec<usize> = entry
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid && s.pc_hash == pc_hash)
+            .map(|(i, _)| i)
+            .collect();
+        self.confirmations += matched.len() as u64;
+        matched
+    }
+
+    /// Number of currently valid entries (diagnostics).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_confirm_matching_pc() {
+        let mut t = SandboxTable::new(512, 3);
+        let pc = Pc::new(0x30b00);
+        assert!(!t.filter_and_record(LineAddr::new(100), 2, pc));
+        let matched = t.confirm_demand(LineAddr::new(100), pc);
+        assert_eq!(matched, vec![2]);
+        assert_eq!(t.confirmations(), 1);
+    }
+
+    #[test]
+    fn mismatched_pc_does_not_confirm() {
+        let mut t = SandboxTable::new(512, 3);
+        t.filter_and_record(LineAddr::new(100), 1, Pc::new(0x30b00));
+        let matched = t.confirm_demand(LineAddr::new(100), Pc::new(0x30aca));
+        assert!(matched.is_empty());
+    }
+
+    #[test]
+    fn duplicate_prefetch_is_filtered() {
+        let mut t = SandboxTable::new(512, 3);
+        assert!(!t.filter_and_record(LineAddr::new(7), 0, Pc::new(0x10)));
+        assert!(t.filter_and_record(LineAddr::new(7), 1, Pc::new(0x20)));
+        assert_eq!(t.filtered(), 1);
+        assert_eq!(t.recorded(), 1);
+        // Both prefetchers can now be confirmed by their own PCs.
+        assert_eq!(t.confirm_demand(LineAddr::new(7), Pc::new(0x10)), vec![0]);
+        assert_eq!(t.confirm_demand(LineAddr::new(7), Pc::new(0x20)), vec![1]);
+    }
+
+    #[test]
+    fn unknown_line_confirms_nothing() {
+        let mut t = SandboxTable::new(64, 2);
+        assert!(t.confirm_demand(LineAddr::new(1234), Pc::new(0x40)).is_empty());
+    }
+
+    #[test]
+    fn conflicting_lines_overwrite_direct_mapped_slot() {
+        let mut t = SandboxTable::new(2, 1);
+        // With only two slots, inserting many lines must overwrite earlier ones
+        // without panicking, and occupancy never exceeds the entry count.
+        for i in 0..64u64 {
+            t.filter_and_record(LineAddr::new(i * 977), 0, Pc::new(0x40));
+        }
+        assert!(t.occupancy() <= 2);
+    }
+
+    #[test]
+    fn pc_hash_width_follows_entry_count() {
+        assert_eq!(SandboxTable::new(512, 3).pc_hash_bits(), 9);
+        assert_eq!(SandboxTable::new(64, 3).pc_hash_bits(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = SandboxTable::new(100, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_prefetcher_panics() {
+        let mut t = SandboxTable::new(64, 2);
+        t.filter_and_record(LineAddr::new(1), 5, Pc::new(1));
+    }
+}

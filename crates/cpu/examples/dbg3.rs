@@ -1,0 +1,12 @@
+use cpu::*;
+fn main() {
+    let w = traces::spec06::workload("libquantum", 12_000);
+    for algo in [SelectionAlgorithm::NoPrefetching, SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto] {
+        let r = run_single_core(SystemConfig::skylake_like(1), algo, CompositeKind::GsCsPmp, &w);
+        let c = &r.cores[0];
+        println!("{:12} ipc={:.3} l1hit={} l1miss={} l1merge={} l2hits={} cov_t={} cov_u={} uncov={} over={} pf={} dram={}",
+            r.selector, c.ipc, c.l1.demand_hits, c.l1.demand_misses, c.l1.demand_mshr_merges, c.l2.demand_hits,
+            c.quality.covered_timely, c.quality.covered_untimely, c.quality.uncovered, c.quality.overpredicted,
+            c.prefetches_issued, r.dram.accesses);
+    }
+}

@@ -1,0 +1,155 @@
+//! System configuration mirroring Table I ("1–8 cores, 256-entry ROB, 6-width
+//! fetch, 6-width decode, 8-width issue, 4-width commit, 72/56-entry LQ/SQ").
+
+use memsys::{DramKind, HierarchyParams};
+
+/// Full system configuration: core microarchitecture plus memory hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Reorder buffer entries (Table I: 256).
+    pub rob_entries: usize,
+    /// Fetch width in instructions per cycle (Table I: 6).
+    pub fetch_width: u32,
+    /// Commit width in instructions per cycle (Table I: 4).
+    pub commit_width: u32,
+    /// Load queue entries (Table I: 72).
+    pub load_queue: usize,
+    /// Store queue entries (Table I: 56).
+    pub store_queue: usize,
+    /// Memory hierarchy parameters (Table I caches + DRAM).
+    pub hierarchy: HierarchyParams,
+    /// Instructions between selector reward epochs (the Bandit reward period).
+    pub selector_epoch_instructions: u64,
+}
+
+impl SystemConfig {
+    /// The Skylake-like configuration of Table I for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn skylake_like(cores: usize) -> Self {
+        Self {
+            cores,
+            rob_entries: 256,
+            fetch_width: 6,
+            commit_width: 4,
+            load_queue: 72,
+            store_queue: 56,
+            hierarchy: HierarchyParams::skylake_like(cores),
+            selector_epoch_instructions: 20_000,
+        }
+    }
+
+    /// Table I configuration with an explicit LLC capacity per core (Fig. 15).
+    #[must_use]
+    pub fn with_llc_per_core(cores: usize, llc_bytes_per_core: u64) -> Self {
+        let mut c = Self::skylake_like(cores);
+        c.hierarchy = HierarchyParams::with_llc_per_core(cores, llc_bytes_per_core);
+        c
+    }
+
+    /// Table I configuration with the given DRAM generation (Fig. 16).
+    #[must_use]
+    pub fn with_dram(cores: usize, kind: DramKind) -> Self {
+        let mut c = Self::skylake_like(cores);
+        c.hierarchy = HierarchyParams::with_dram(cores, kind);
+        c
+    }
+
+    /// Renders the configuration as the rows of Table I (used by the harness's
+    /// `table1` command).
+    #[must_use]
+    pub fn describe(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Core".to_string(),
+                format!(
+                    "{} cores, {}-entry ROB, {}-width fetch, {}-width commit, {}/{}-entry LQ/SQ",
+                    self.cores,
+                    self.rob_entries,
+                    self.fetch_width,
+                    self.commit_width,
+                    self.load_queue,
+                    self.store_queue
+                ),
+            ),
+            (
+                "Private L1 D-cache".to_string(),
+                format!(
+                    "{} KB, {}-way, 64B line, {} MSHRs, {} cycles round trip",
+                    self.hierarchy.l1d.size_bytes / 1024,
+                    self.hierarchy.l1d.ways,
+                    self.hierarchy.l1d.mshrs,
+                    self.hierarchy.l1d.latency
+                ),
+            ),
+            (
+                "Private L2 cache".to_string(),
+                format!(
+                    "{} KB, {}-way, {} MSHRs, {} cycles round trip",
+                    self.hierarchy.l2.size_bytes / 1024,
+                    self.hierarchy.l2.ways,
+                    self.hierarchy.l2.mshrs,
+                    self.hierarchy.l2.latency
+                ),
+            ),
+            (
+                "Shared L3 cache".to_string(),
+                format!(
+                    "{} MB total, {}-way, {} cycles round trip",
+                    self.hierarchy.l3.size_bytes / (1024 * 1024),
+                    self.hierarchy.l3.ways,
+                    self.hierarchy.l3.latency
+                ),
+            ),
+            (
+                "Main memory".to_string(),
+                format!(
+                    "{:?}, {} channel(s), {} rank(s)/channel, {} banks/rank",
+                    self.hierarchy.dram.kind,
+                    self.hierarchy.dram.channels,
+                    self.hierarchy.dram.ranks_per_channel,
+                    self.hierarchy.dram.banks_per_rank
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_parameters() {
+        let c = SystemConfig::skylake_like(1);
+        assert_eq!(c.rob_entries, 256);
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.commit_width, 4);
+        assert_eq!(c.load_queue, 72);
+        assert_eq!(c.store_queue, 56);
+        assert_eq!(c.hierarchy.cores, 1);
+    }
+
+    #[test]
+    fn llc_and_dram_variants() {
+        let c = SystemConfig::with_llc_per_core(1, 512 * 1024);
+        assert_eq!(c.hierarchy.l3.size_bytes, 512 * 1024);
+        let c = SystemConfig::with_dram(1, DramKind::Ddr3_1600);
+        assert_eq!(c.hierarchy.dram.kind, DramKind::Ddr3_1600);
+    }
+
+    #[test]
+    fn describe_covers_all_modules() {
+        let rows = SystemConfig::skylake_like(8).describe();
+        let labels: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(labels.contains(&"Core"));
+        assert!(labels.contains(&"Shared L3 cache"));
+        assert!(labels.contains(&"Main memory"));
+        assert!(rows.iter().all(|(_, v)| !v.is_empty()));
+    }
+}

@@ -1,0 +1,168 @@
+//! Result structures produced by a simulation run.
+
+use memsys::{CacheStats, DramStats, PrefetchQuality};
+use prefetch::TableStats;
+
+/// Per-prefetcher metadata-table statistics with the prefetcher's name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetcherReport {
+    /// Prefetcher display name (`"GS"`, `"CS"`, ...).
+    pub name: String,
+    /// Table statistics accumulated over the run.
+    pub stats: TableStats,
+}
+
+/// Results of one core over one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreReport {
+    /// Workload (benchmark) name.
+    pub workload: String,
+    /// Selection algorithm name.
+    pub selector: String,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// L1D statistics.
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Prefetch quality breakdown (Fig. 10).
+    pub quality: PrefetchQuality,
+    /// Per-prefetcher table statistics.
+    pub prefetchers: Vec<PrefetcherReport>,
+    /// Total prefetcher training occurrences (Fig. 18 energy proxy).
+    pub training_occurrences: u64,
+    /// Total prefetcher table misses (Fig. 1).
+    pub table_misses: u64,
+    /// Prefetch requests issued to the memory system.
+    pub prefetches_issued: u64,
+}
+
+impl CoreReport {
+    /// Misses per kilo-instruction at the L1D (memory-intensity indicator).
+    #[must_use]
+    pub fn l1_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            1000.0 * self.l1.demand_misses as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Results of a full system run (all cores plus shared resources).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// Selection algorithm name.
+    pub selector: String,
+    /// Composite prefetcher label.
+    pub composite: String,
+    /// Per-core results.
+    pub cores: Vec<CoreReport>,
+    /// Shared L3 statistics.
+    pub l3: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Storage overhead of the selection hardware in bits.
+    pub selector_storage_bits: u64,
+}
+
+impl SystemReport {
+    /// Geometric-mean IPC across cores (`None` for an empty system).
+    #[must_use]
+    pub fn geomean_ipc(&self) -> Option<f64> {
+        let ipcs: Vec<f64> = self.cores.iter().map(|c| c.ipc).collect();
+        alecto_types::geomean(&ipcs)
+    }
+
+    /// Aggregate prefetch quality across all cores.
+    #[must_use]
+    pub fn total_quality(&self) -> PrefetchQuality {
+        let mut q = PrefetchQuality::default();
+        for c in &self.cores {
+            q.merge(&c.quality);
+        }
+        q
+    }
+
+    /// Total prefetcher training occurrences across all cores.
+    #[must_use]
+    pub fn total_training_occurrences(&self) -> u64 {
+        self.cores.iter().map(|c| c.training_occurrences).sum()
+    }
+
+    /// Total prefetcher table misses across all cores (Fig. 1).
+    #[must_use]
+    pub fn total_table_misses(&self) -> u64 {
+        self.cores.iter().map(|c| c.table_misses).sum()
+    }
+
+    /// Per-prefetcher training occurrences summed over cores, keyed by name
+    /// (Fig. 18's x-axis).
+    #[must_use]
+    pub fn trainings_by_prefetcher(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for core in &self.cores {
+            for p in &core.prefetchers {
+                match out.iter_mut().find(|(n, _)| *n == p.name) {
+                    Some((_, t)) => *t += p.stats.trainings,
+                    None => out.push((p.name.clone(), p.stats.trainings)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_core(ipc: f64, trainings: u64) -> CoreReport {
+        CoreReport {
+            workload: "w".into(),
+            selector: "s".into(),
+            instructions: 1000,
+            cycles: 500,
+            ipc,
+            l1: CacheStats { demand_misses: 50, demand_hits: 950, ..Default::default() },
+            l2: CacheStats::default(),
+            quality: PrefetchQuality { covered_timely: 10, covered_untimely: 5, uncovered: 5, overpredicted: 2 },
+            prefetchers: vec![PrefetcherReport {
+                name: "GS".into(),
+                stats: TableStats { trainings, ..Default::default() },
+            }],
+            training_occurrences: trainings,
+            table_misses: 7,
+            prefetches_issued: 17,
+        }
+    }
+
+    #[test]
+    fn mpki_computation() {
+        let c = dummy_core(1.0, 10);
+        assert!((c.l1_mpki() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn system_aggregations() {
+        let report = SystemReport {
+            selector: "Alecto".into(),
+            composite: "GS+CS+PMP".into(),
+            cores: vec![dummy_core(1.0, 10), dummy_core(4.0, 30)],
+            l3: CacheStats::default(),
+            dram: DramStats::default(),
+            selector_storage_bits: 100,
+        };
+        assert!((report.geomean_ipc().unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(report.total_training_occurrences(), 40);
+        assert_eq!(report.total_table_misses(), 14);
+        let q = report.total_quality();
+        assert_eq!(q.covered_timely, 20);
+        let by_pf = report.trainings_by_prefetcher();
+        assert_eq!(by_pf, vec![("GS".to_string(), 40)]);
+    }
+}

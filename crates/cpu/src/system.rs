@@ -1,0 +1,226 @@
+//! The multi-core system driver: one [`CoreModel`] per core, a shared
+//! [`memsys::Hierarchy`], and a round-robin-by-time scheduler that keeps the
+//! cores in rough lockstep so that shared-resource contention (L3, DRAM
+//! channels) is modelled faithfully.
+
+use alecto_types::Workload;
+use memsys::Hierarchy;
+use prefetch::CompositeKind;
+
+use crate::config::SystemConfig;
+use crate::controller::PrefetchController;
+use crate::core_model::CoreModel;
+use crate::metrics::SystemReport;
+use crate::selection::SelectionAlgorithm;
+
+/// A complete simulated system.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    algorithm: SelectionAlgorithm,
+    composite: CompositeKind,
+    hierarchy: Hierarchy,
+    cores: Vec<CoreModel>,
+}
+
+impl System {
+    /// Builds a system with `config`, running `algorithm` over `composite` on
+    /// every core.
+    #[must_use]
+    pub fn new(config: SystemConfig, algorithm: SelectionAlgorithm, composite: CompositeKind) -> Self {
+        let hierarchy = Hierarchy::new(config.hierarchy.clone());
+        let cores = (0..config.cores)
+            .map(|id| {
+                CoreModel::new(id, &config, PrefetchController::new(composite, algorithm))
+            })
+            .collect();
+        Self { config, algorithm, composite, hierarchy, cores }
+    }
+
+    /// Configuration in use.
+    #[must_use]
+    pub const fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The selection algorithm being simulated.
+    #[must_use]
+    pub const fn algorithm(&self) -> SelectionAlgorithm {
+        self.algorithm
+    }
+
+    /// Runs the system to completion over one workload per core and returns
+    /// the report. Workloads are assigned to cores in order; if fewer
+    /// workloads than cores are provided, the assignment wraps around
+    /// (homogeneous mixes simply pass a single workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty.
+    pub fn run(&mut self, workloads: &[Workload]) -> SystemReport {
+        assert!(!workloads.is_empty(), "at least one workload is required");
+        let assigned: Vec<&Workload> =
+            (0..self.cores.len()).map(|i| &workloads[i % workloads.len()]).collect();
+        let mut positions = vec![0usize; self.cores.len()];
+
+        // Advance the core with the smallest local time that still has trace
+        // left, so cores interleave their accesses to the shared levels in
+        // approximate timestamp order.
+        loop {
+            let mut next: Option<usize> = None;
+            let mut best_time = f64::INFINITY;
+            for (i, core) in self.cores.iter().enumerate() {
+                if positions[i] < assigned[i].records.len() {
+                    let t = core.current_time();
+                    if t < best_time {
+                        best_time = t;
+                        next = Some(i);
+                    }
+                }
+            }
+            let Some(i) = next else { break };
+            let record = assigned[i].records[positions[i]];
+            positions[i] += 1;
+            self.cores[i].step(&record, &mut self.hierarchy);
+        }
+
+        SystemReport {
+            selector: self
+                .cores
+                .first()
+                .map_or_else(|| "NoPrefetch".to_string(), |c| c.controller().selector_name().to_string()),
+            composite: self.composite.label(),
+            cores: self
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, core)| core.report(&assigned[i].name, &self.hierarchy))
+                .collect(),
+            l3: *self.hierarchy.l3_stats(),
+            dram: *self.hierarchy.dram_stats(),
+            selector_storage_bits: self
+                .cores
+                .first()
+                .map_or(0, |c| c.controller().selector_storage_bits()),
+        }
+    }
+}
+
+/// Convenience helper: run `algorithm` on a single-core system over one
+/// workload and return the report. Used heavily by the harness and tests.
+#[must_use]
+pub fn run_single_core(
+    config: SystemConfig,
+    algorithm: SelectionAlgorithm,
+    composite: CompositeKind,
+    workload: &Workload,
+) -> SystemReport {
+    let mut system = System::new(config, algorithm, composite);
+    system.run(std::slice::from_ref(workload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alecto_types::{Addr, MemoryRecord, Pc};
+
+    fn stream_workload(n: u64, name: &str) -> Workload {
+        let records =
+            (0..n).map(|i| MemoryRecord::load(Pc::new(0x400), Addr::new(0x40_0000 + i * 64), 6)).collect();
+        Workload::new(name, records, true)
+    }
+
+    #[test]
+    fn single_core_run_produces_report() {
+        let report = run_single_core(
+            SystemConfig::skylake_like(1),
+            SelectionAlgorithm::Alecto,
+            CompositeKind::GsCsPmp,
+            &stream_workload(3_000, "stream"),
+        );
+        assert_eq!(report.cores.len(), 1);
+        assert_eq!(report.selector, "Alecto");
+        assert_eq!(report.composite, "GS+CS+PMP");
+        assert!(report.cores[0].ipc > 0.0);
+        assert!(report.dram.accesses > 0);
+    }
+
+    #[test]
+    fn eight_core_homogeneous_run() {
+        let mut system = System::new(
+            SystemConfig::skylake_like(8),
+            SelectionAlgorithm::Ipcp,
+            CompositeKind::GsCsPmp,
+        );
+        let report = system.run(&[stream_workload(800, "stream")]);
+        assert_eq!(report.cores.len(), 8);
+        assert!(report.cores.iter().all(|c| c.instructions > 0));
+        assert!(report.geomean_ipc().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_assignment_wraps_workloads() {
+        let mut system = System::new(
+            SystemConfig::skylake_like(4),
+            SelectionAlgorithm::NoPrefetching,
+            CompositeKind::GsCsPmp,
+        );
+        let a = stream_workload(500, "a");
+        let b = stream_workload(700, "b");
+        let report = system.run(&[a, b]);
+        assert_eq!(report.cores[0].workload, "a");
+        assert_eq!(report.cores[1].workload, "b");
+        assert_eq!(report.cores[2].workload, "a");
+        assert_eq!(report.cores[3].workload, "b");
+    }
+
+    #[test]
+    fn shared_dram_contention_lowers_multicore_ipc() {
+        // The same DRAM-heavy workload run alone vs eight *distinct* copies
+        // (each in its own address space, like SPEC-rate): per-core IPC must
+        // drop when eight cores fight for the shared L3 and DRAM.
+        let make = |core: u64| {
+            let records: Vec<MemoryRecord> = (0..2_000)
+                .map(|i| {
+                    MemoryRecord::load(
+                        Pc::new(0x90),
+                        Addr::new((core + 1) * (1 << 36) + ((i * 7919) % 100_000) * 4096),
+                        2,
+                    )
+                })
+                .collect();
+            Workload::new(format!("mem{core}"), records, true)
+        };
+        let single = run_single_core(
+            SystemConfig::skylake_like(1),
+            SelectionAlgorithm::NoPrefetching,
+            CompositeKind::GsCsPmp,
+            &make(0),
+        );
+        let mut multi = System::new(
+            SystemConfig::skylake_like(8),
+            SelectionAlgorithm::NoPrefetching,
+            CompositeKind::GsCsPmp,
+        );
+        let copies: Vec<Workload> = (0..8).map(make).collect();
+        let multi_report = multi.run(&copies);
+        let avg_multi: f64 =
+            multi_report.cores.iter().map(|c| c.ipc).sum::<f64>() / multi_report.cores.len() as f64;
+        assert!(
+            avg_multi < single.cores[0].ipc,
+            "8-core contention should lower per-core IPC ({avg_multi} vs {})",
+            single.cores[0].ipc
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_workloads_panics() {
+        let mut system = System::new(
+            SystemConfig::skylake_like(1),
+            SelectionAlgorithm::Alecto,
+            CompositeKind::GsCsPmp,
+        );
+        let _ = system.run(&[]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section on top of the simulator substrate.
+//!
+//! The crate exposes one function per experiment (`figures::fig8`,
+//! `figures::fig13`, `figures::table3`, ...), all returning an
+//! [`report::Experiment`] — a titled text table plus the raw numbers — so the
+//! same code backs the `alecto-harness` CLI, the integration tests and the
+//! Criterion benches.
+//!
+//! # Example
+//!
+//! ```no_run
+//! // Full-size experiments take minutes in debug builds; see the `quick`
+//! // preset used by the integration tests for a smaller configuration.
+//! let exp = harness::figures::fig8(&harness::RunScale::default());
+//! println!("{}", exp.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use energy::{EnergyModel, HierarchyEnergy};
+pub use report::{Experiment, Table};
+pub use runner::{RunScale, SpeedupGrid};

@@ -1,0 +1,74 @@
+//! `alecto-harness` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! alecto-harness <experiment> [--accesses N] [--quick]
+//!
+//! experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12
+//!              fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext
+//!              all quick
+//! ```
+
+use harness::figures;
+use harness::RunScale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: alecto-harness <experiment> [--accesses N] [--quick]\n\
+         experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12\n\
+                      fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext all quick"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = RunScale::default();
+    let mut experiment = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = RunScale::quick(),
+            "--accesses" => {
+                i += 1;
+                let n = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                scale.accesses = n;
+                scale.multicore_accesses = (n / 3).max(500);
+            }
+            name if experiment.is_none() => experiment = Some(name.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let experiment = experiment.unwrap_or_else(|| usage());
+
+    let experiments = match experiment.as_str() {
+        "table1" => vec![figures::table1()],
+        "table2" => vec![figures::table2()],
+        "table3" => vec![figures::table3()],
+        "fig1" => vec![figures::fig1(&scale)],
+        "fig2" => vec![figures::fig2(&scale)],
+        "fig8" => vec![figures::fig8(&scale)],
+        "fig9" => vec![figures::fig9(&scale)],
+        "fig10" => vec![figures::fig10(&scale)],
+        "fig11" => vec![figures::fig11(&scale)],
+        "fig12" => vec![figures::fig12(&scale)],
+        "fig13" => vec![figures::fig13(&scale)],
+        "fig14" => vec![figures::fig14(&scale)],
+        "fig15" => vec![figures::fig15(&scale)],
+        "fig16" => vec![figures::fig16(&scale)],
+        "fig17" => vec![figures::fig17(&scale)],
+        "fig18" => vec![figures::fig18(&scale)],
+        "fig19" => vec![figures::fig19(&scale)],
+        "fig20" => vec![figures::fig20(&scale)],
+        "bandit-ext" | "vi_h" => vec![figures::bandit_extended(&scale)],
+        "all" => figures::all(&scale),
+        "quick" => figures::all(&RunScale::quick()),
+        _ => usage(),
+    };
+    for e in experiments {
+        println!("{}", e.render());
+    }
+}

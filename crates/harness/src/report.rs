@@ -1,0 +1,151 @@
+//! Plain-text experiment reports: a titled table of rows, rendered with
+//! aligned columns so the harness output reads like the paper's tables.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table from headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up a cell by row label (first column) and column header.
+    #[must_use]
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows.iter().find(|r| r[0] == row_label).map(|r| r[col].as_str())
+    }
+}
+
+/// One regenerated experiment: an id (e.g. `"fig8"`), a descriptive title,
+/// the result table, and free-form notes comparing against the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Short identifier matching the paper's numbering (`"fig8"`, `"table3"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The result table.
+    pub table: Table,
+    /// Notes (e.g. the paper's headline number for the same quantity).
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Creates an experiment report.
+    #[must_use]
+    pub fn new(id: &str, title: &str, table: Table) -> Self {
+        Self { id: id.to_string(), title: title.to_string(), table, notes: Vec::new() }
+    }
+
+    /// Adds a note line.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the experiment: title, table, then notes.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n{}", self.id, self.title, self.table.render());
+        for note in &self.notes {
+            out.push_str("note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["bench", "IPCP", "Alecto"]);
+        t.push_row(vec!["mcf", "1.10", "1.20"]);
+        t.push_row(vec!["libquantum", "1.50", "1.55"]);
+        let s = t.render();
+        assert!(s.contains("bench"));
+        assert!(s.contains("libquantum"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new(vec!["bench", "Alecto"]);
+        t.push_row(vec!["mcf", "1.23"]);
+        assert_eq!(t.cell("mcf", "Alecto"), Some("1.23"));
+        assert_eq!(t.cell("mcf", "missing"), None);
+        assert_eq!(t.cell("lbm", "Alecto"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn experiment_render_includes_notes() {
+        let mut t = Table::new(vec!["metric", "value"]);
+        t.push_row(vec!["geomean", "1.05"]);
+        let e = Experiment::new("fig8", "Single-core speedup", t).with_note("paper: Alecto > Bandit6 by 3.2%");
+        let s = e.render();
+        assert!(s.contains("fig8"));
+        assert!(s.contains("note: paper"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Generic experiment runner: sweeps selection algorithms over benchmark
+//! sets and collects speedups against the no-prefetching baseline, the way
+//! every speedup figure in the paper is constructed.
+
+use alecto_types::{geomean, Workload};
+use cpu::{CompositeKind, SelectionAlgorithm, System, SystemConfig, SystemReport};
+
+use crate::report::Table;
+
+/// How large the generated traces are. The defaults keep a full-suite sweep
+/// tractable in a release build; the integration tests use smaller values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Memory accesses per single-core workload.
+    pub accesses: usize,
+    /// Memory accesses per core in multi-core runs.
+    pub multicore_accesses: usize,
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        Self { accesses: 20_000, multicore_accesses: 6_000 }
+    }
+}
+
+impl RunScale {
+    /// A reduced scale for smoke tests and CI.
+    #[must_use]
+    pub const fn quick() -> Self {
+        Self { accesses: 4_000, multicore_accesses: 1_500 }
+    }
+}
+
+/// Result of one benchmark under one selection algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoResult {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Speedup of geomean IPC over the no-prefetching baseline.
+    pub speedup: f64,
+    /// Full system report for deeper metrics.
+    pub report: SystemReport,
+}
+
+/// Result of one benchmark across all algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Whether the benchmark is memory intensive.
+    pub memory_intensive: bool,
+    /// No-prefetching baseline report.
+    pub baseline: SystemReport,
+    /// Per-algorithm results.
+    pub algorithms: Vec<AlgoResult>,
+}
+
+/// A grid of speedups: benchmarks × algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupGrid {
+    /// Algorithm labels, in run order.
+    pub algorithm_labels: Vec<String>,
+    /// Per-benchmark results.
+    pub benchmarks: Vec<BenchResult>,
+}
+
+impl SpeedupGrid {
+    /// Speedup of `algorithm` on `benchmark`, if present.
+    #[must_use]
+    pub fn speedup(&self, benchmark: &str, algorithm: &str) -> Option<f64> {
+        self.benchmarks
+            .iter()
+            .find(|b| b.benchmark == benchmark)?
+            .algorithms
+            .iter()
+            .find(|a| a.algorithm == algorithm)
+            .map(|a| a.speedup)
+    }
+
+    /// Geomean speedup of `algorithm` over the selected benchmarks
+    /// (`memory_intensive_only` restricts to the dotted-box subset).
+    #[must_use]
+    pub fn geomean_speedup(&self, algorithm: &str, memory_intensive_only: bool) -> Option<f64> {
+        let values: Vec<f64> = self
+            .benchmarks
+            .iter()
+            .filter(|b| !memory_intensive_only || b.memory_intensive)
+            .filter_map(|b| b.algorithms.iter().find(|a| a.algorithm == algorithm).map(|a| a.speedup))
+            .collect();
+        geomean(&values)
+    }
+
+    /// Renders the grid as a speedup table with per-benchmark rows plus
+    /// `Geomean-Mem` and `Geomean-All` summary rows (as in Figs. 8/9).
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["benchmark".to_string()];
+        headers.extend(self.algorithm_labels.clone());
+        let mut table = Table::new(headers);
+        for bench in &self.benchmarks {
+            let mut row = vec![format!(
+                "{}{}",
+                bench.benchmark,
+                if bench.memory_intensive { " *" } else { "" }
+            )];
+            for label in &self.algorithm_labels {
+                let s = bench
+                    .algorithms
+                    .iter()
+                    .find(|a| &a.algorithm == label)
+                    .map_or(f64::NAN, |a| a.speedup);
+                row.push(format!("{s:.3}"));
+            }
+            table.push_row(row);
+        }
+        for (label_row, mem_only) in [("Geomean-Mem", true), ("Geomean-All", false)] {
+            let mut row = vec![label_row.to_string()];
+            for label in &self.algorithm_labels {
+                let g = self.geomean_speedup(label, mem_only).unwrap_or(f64::NAN);
+                row.push(format!("{g:.3}"));
+            }
+            table.push_row(row);
+        }
+        table
+    }
+}
+
+/// Runs `algorithms` (plus the implicit no-prefetching baseline) on every
+/// workload, single-core, and returns the speedup grid.
+#[must_use]
+pub fn run_single_core_suite(
+    workloads: &[Workload],
+    algorithms: &[SelectionAlgorithm],
+    composite: CompositeKind,
+    config: &SystemConfig,
+) -> SpeedupGrid {
+    let mut benchmarks = Vec::with_capacity(workloads.len());
+    for workload in workloads {
+        let baseline = run_one(config.clone(), SelectionAlgorithm::NoPrefetching, composite, std::slice::from_ref(workload));
+        let base_ipc = baseline.geomean_ipc().unwrap_or(1e-9);
+        let mut algo_results = Vec::with_capacity(algorithms.len());
+        for &algo in algorithms {
+            let report = run_one(config.clone(), algo, composite, std::slice::from_ref(workload));
+            let ipc = report.geomean_ipc().unwrap_or(0.0);
+            algo_results.push(AlgoResult {
+                algorithm: algo.label().to_string(),
+                speedup: ipc / base_ipc,
+                report,
+            });
+        }
+        benchmarks.push(BenchResult {
+            benchmark: workload.name.clone(),
+            memory_intensive: workload.memory_intensive,
+            baseline,
+            algorithms: algo_results,
+        });
+    }
+    SpeedupGrid {
+        algorithm_labels: algorithms.iter().map(|a| a.label().to_string()).collect(),
+        benchmarks,
+    }
+}
+
+/// Runs `algorithms` (plus the baseline) on a multi-core system where core
+/// `i` executes `workloads[i % workloads.len()]`. The grid contains a single
+/// "benchmark" entry named `mix_name`.
+#[must_use]
+pub fn run_multicore_mix(
+    mix_name: &str,
+    workloads: &[Workload],
+    algorithms: &[SelectionAlgorithm],
+    composite: CompositeKind,
+    config: &SystemConfig,
+) -> SpeedupGrid {
+    let baseline = run_one(config.clone(), SelectionAlgorithm::NoPrefetching, composite, workloads);
+    let base_ipc = baseline.geomean_ipc().unwrap_or(1e-9);
+    let mut algo_results = Vec::with_capacity(algorithms.len());
+    for &algo in algorithms {
+        let report = run_one(config.clone(), algo, composite, workloads);
+        let ipc = report.geomean_ipc().unwrap_or(0.0);
+        algo_results.push(AlgoResult {
+            algorithm: algo.label().to_string(),
+            speedup: ipc / base_ipc,
+            report,
+        });
+    }
+    SpeedupGrid {
+        algorithm_labels: algorithms.iter().map(|a| a.label().to_string()).collect(),
+        benchmarks: vec![BenchResult {
+            benchmark: mix_name.to_string(),
+            memory_intensive: workloads.iter().any(|w| w.memory_intensive),
+            baseline,
+            algorithms: algo_results,
+        }],
+    }
+}
+
+fn run_one(
+    config: SystemConfig,
+    algorithm: SelectionAlgorithm,
+    composite: CompositeKind,
+    workloads: &[Workload],
+) -> SystemReport {
+    let mut system = System::new(config, algorithm, composite);
+    system.run(workloads)
+}
+
+/// Merges several grids that share the same algorithm labels (used to combine
+/// the SPEC06 and SPEC17 halves of a figure).
+///
+/// # Panics
+///
+/// Panics if the grids disagree on algorithm labels.
+#[must_use]
+pub fn merge_grids(grids: Vec<SpeedupGrid>) -> SpeedupGrid {
+    let mut iter = grids.into_iter();
+    let mut first = iter.next().expect("at least one grid to merge");
+    for grid in iter {
+        assert_eq!(grid.algorithm_labels, first.algorithm_labels, "grids must share algorithms");
+        first.benchmarks.extend(grid.benchmarks);
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workloads() -> Vec<Workload> {
+        vec![traces::spec06::workload("lbm", 1_500), traces::spec06::workload("povray", 1_500)]
+    }
+
+    #[test]
+    fn grid_contains_all_benchmarks_and_algorithms() {
+        let grid = run_single_core_suite(
+            &tiny_workloads(),
+            &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(1),
+        );
+        assert_eq!(grid.benchmarks.len(), 2);
+        assert_eq!(grid.algorithm_labels, vec!["IPCP", "Alecto"]);
+        assert!(grid.speedup("lbm", "Alecto").unwrap() > 0.5);
+        assert!(grid.geomean_speedup("IPCP", false).is_some());
+        let table = grid.to_table();
+        assert!(table.render().contains("Geomean-All"));
+    }
+
+    #[test]
+    fn memory_intensive_geomean_filters() {
+        let grid = run_single_core_suite(
+            &tiny_workloads(),
+            &[SelectionAlgorithm::Ipcp],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(1),
+        );
+        // Only lbm is memory intensive in the tiny set.
+        let mem = grid.geomean_speedup("IPCP", true).unwrap();
+        let lbm = grid.speedup("lbm", "IPCP").unwrap();
+        assert!((mem - lbm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicore_mix_produces_single_entry() {
+        let grid = run_multicore_mix(
+            "homog-lbm",
+            &traces::parsec::per_core_workloads("streamcluster", 600, 2),
+            &[SelectionAlgorithm::Ipcp],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(2),
+        );
+        assert_eq!(grid.benchmarks.len(), 1);
+        assert_eq!(grid.benchmarks[0].baseline.cores.len(), 2);
+    }
+
+    #[test]
+    fn merge_concatenates_benchmarks() {
+        let a = run_single_core_suite(
+            &[traces::spec06::workload("lbm", 800)],
+            &[SelectionAlgorithm::Ipcp],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(1),
+        );
+        let b = run_single_core_suite(
+            &[traces::spec17::workload("lbm_17", 800)],
+            &[SelectionAlgorithm::Ipcp],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(1),
+        );
+        let merged = merge_grids(vec![a, b]);
+        assert_eq!(merged.benchmarks.len(), 2);
+    }
+
+    #[test]
+    fn scale_presets() {
+        assert!(RunScale::default().accesses > RunScale::quick().accesses);
+    }
+}

@@ -1,0 +1,332 @@
+//! Set-associative cache with LRU replacement and per-line prefetch metadata.
+//!
+//! Each line remembers whether it was filled by a prefetch and, if so, by
+//! which prefetcher and under which trigger PC. That metadata feeds both the
+//! coverage/overprediction accounting of Fig. 10 and the usefulness feedback
+//! consumed by PPF and by Alecto's Sandbox/Sample tables.
+
+use alecto_types::{LineAddr, Pc, PrefetcherId};
+
+use crate::config::CacheParams;
+use crate::stats::CacheStats;
+
+/// Metadata stored alongside every resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Line (tag + index combined; the model stores full line addresses).
+    pub line: LineAddr,
+    /// Dirty bit (stores mark lines dirty; only used for statistics).
+    pub dirty: bool,
+    /// Set when the line was filled by a prefetch and has not yet been
+    /// referenced by a demand access.
+    pub prefetched_unused: bool,
+    /// Which prefetcher brought the line in (if any).
+    pub prefetch_issuer: Option<PrefetcherId>,
+    /// PC of the demand access that triggered the prefetch (if any).
+    pub trigger_pc: Option<Pc>,
+    /// LRU timestamp: larger is more recently used.
+    lru_stamp: u64,
+}
+
+/// Information about a line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionInfo {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether the line was prefetched and never used (an overprediction).
+    pub was_unused_prefetch: bool,
+    /// Which prefetcher had brought it in, if any.
+    pub prefetch_issuer: Option<PrefetcherId>,
+    /// PC that triggered the prefetch, if any.
+    pub trigger_pc: Option<Pc>,
+}
+
+/// A single set-associative cache array.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    num_sets: usize,
+    sets: Vec<Vec<LineMeta>>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(params: CacheParams) -> Self {
+        let num_sets = params.num_sets();
+        Self {
+            params,
+            num_sets,
+            sets: vec![Vec::with_capacity(params.ways); num_sets],
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Configuration this cache was built with.
+    #[must_use]
+    pub const fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub const fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics (used by the hierarchy to attribute
+    /// MSHR merges and stalls, which the cache array itself does not see).
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub const fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Round-trip latency of this level in cycles.
+    #[must_use]
+    pub const fn latency(&self) -> u64 {
+        self.params.latency
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.num_sets - 1)
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Probes for `line` without updating replacement state or statistics.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        self.sets[idx].iter().any(|e| e.line == line)
+    }
+
+    /// Demand lookup. On a hit, updates LRU state, clears the
+    /// "prefetched-unused" bit, and returns the pre-access metadata so the
+    /// caller can attribute prefetch usefulness.
+    pub fn demand_lookup(&mut self, line: LineAddr, is_store: bool) -> Option<LineMeta> {
+        let idx = self.set_index(line);
+        let stamp = self.next_stamp();
+        let entry = self.sets[idx].iter_mut().find(|e| e.line == line);
+        match entry {
+            Some(e) => {
+                let before = *e;
+                e.lru_stamp = stamp;
+                if is_store {
+                    e.dirty = true;
+                }
+                if e.prefetched_unused {
+                    e.prefetched_unused = false;
+                    self.stats.useful_prefetch_hits += 1;
+                }
+                self.stats.demand_hits += 1;
+                Some(before)
+            }
+            None => {
+                self.stats.demand_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Prefetch lookup: returns `true` (and counts a redundant prefetch) if
+    /// the line is already resident. Does not touch LRU state — a prefetch
+    /// probe should not rejuvenate a line.
+    pub fn prefetch_probe(&mut self, line: LineAddr) -> bool {
+        if self.contains(line) {
+            self.stats.prefetch_hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fills `line` into the cache, evicting the LRU way if the set is full.
+    /// Returns information about the victim, if one was evicted.
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        prefetch_issuer: Option<PrefetcherId>,
+        trigger_pc: Option<Pc>,
+        dirty: bool,
+    ) -> Option<EvictionInfo> {
+        let idx = self.set_index(line);
+        let stamp = self.next_stamp();
+        // Refill of an already-resident line just refreshes metadata.
+        if let Some(e) = self.sets[idx].iter_mut().find(|e| e.line == line) {
+            e.lru_stamp = stamp;
+            e.dirty |= dirty;
+            return None;
+        }
+        if prefetch_issuer.is_some() {
+            self.stats.prefetch_fills += 1;
+        }
+        let meta = LineMeta {
+            line,
+            dirty,
+            prefetched_unused: prefetch_issuer.is_some(),
+            prefetch_issuer,
+            trigger_pc,
+            lru_stamp: stamp,
+        };
+        if self.sets[idx].len() < self.params.ways {
+            self.sets[idx].push(meta);
+            return None;
+        }
+        // Evict LRU (smallest stamp).
+        let victim_pos = self.sets[idx]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.lru_stamp)
+            .map(|(i, _)| i)
+            .expect("set is non-empty when full");
+        let victim = self.sets[idx][victim_pos];
+        self.sets[idx][victim_pos] = meta;
+        self.stats.evictions += 1;
+        if victim.prefetched_unused {
+            self.stats.unused_prefetch_evictions += 1;
+        }
+        Some(EvictionInfo {
+            line: victim.line,
+            was_unused_prefetch: victim.prefetched_unused,
+            prefetch_issuer: victim.prefetch_issuer,
+            trigger_pc: victim.trigger_pc,
+        })
+    }
+
+    /// Invalidates `line` if present, returning its metadata. Used by the
+    /// mostly-exclusive L3 when a line is promoted to the private levels.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let idx = self.set_index(line);
+        let pos = self.sets[idx].iter().position(|e| e.line == line)?;
+        Some(self.sets[idx].swap_remove(pos))
+    }
+
+    /// Number of resident lines (for tests and occupancy reporting).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over all resident line metadata (read-only).
+    pub fn resident_lines(&self) -> impl Iterator<Item = &LineMeta> {
+        self.sets.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache(ways: usize, sets: usize) -> Cache {
+        Cache::new(CacheParams {
+            size_bytes: (ways * sets) as u64 * alecto_types::CACHE_LINE_BYTES,
+            ways,
+            latency: 4,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny_cache(2, 2);
+        assert!(c.demand_lookup(LineAddr::new(0), false).is_none());
+        c.fill(LineAddr::new(0), None, None, false);
+        assert!(c.demand_lookup(LineAddr::new(0), false).is_some());
+        assert_eq!(c.stats().demand_hits, 1);
+        assert_eq!(c.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny_cache(2, 1);
+        c.fill(LineAddr::new(0), None, None, false);
+        c.fill(LineAddr::new(1), None, None, false);
+        // Touch line 0 so line 1 becomes LRU.
+        c.demand_lookup(LineAddr::new(0), false);
+        let evicted = c.fill(LineAddr::new(2), None, None, false).expect("eviction");
+        assert_eq!(evicted.line, LineAddr::new(1));
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(c.contains(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn prefetched_unused_tracking() {
+        let mut c = tiny_cache(1, 1);
+        c.fill(LineAddr::new(3), Some(PrefetcherId(0)), Some(Pc::new(0x10)), false);
+        // Evicting it before use counts as an unused prefetch eviction.
+        let ev = c.fill(LineAddr::new(4), None, None, false).unwrap();
+        assert!(ev.was_unused_prefetch);
+        assert_eq!(ev.prefetch_issuer, Some(PrefetcherId(0)));
+        assert_eq!(ev.trigger_pc, Some(Pc::new(0x10)));
+        assert_eq!(c.stats().unused_prefetch_evictions, 1);
+    }
+
+    #[test]
+    fn demand_hit_clears_prefetched_bit() {
+        let mut c = tiny_cache(2, 1);
+        c.fill(LineAddr::new(3), Some(PrefetcherId(1)), Some(Pc::new(0x20)), false);
+        let before = c.demand_lookup(LineAddr::new(3), false).unwrap();
+        assert!(before.prefetched_unused);
+        assert_eq!(c.stats().useful_prefetch_hits, 1);
+        // Second access: bit already cleared.
+        let again = c.demand_lookup(LineAddr::new(3), false).unwrap();
+        assert!(!again.prefetched_unused);
+        assert_eq!(c.stats().useful_prefetch_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_probe_counts_redundant() {
+        let mut c = tiny_cache(2, 1);
+        c.fill(LineAddr::new(9), None, None, false);
+        assert!(c.prefetch_probe(LineAddr::new(9)));
+        assert!(!c.prefetch_probe(LineAddr::new(10)));
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn store_marks_dirty() {
+        let mut c = tiny_cache(2, 1);
+        c.fill(LineAddr::new(7), None, None, false);
+        c.demand_lookup(LineAddr::new(7), true);
+        let meta = c.resident_lines().find(|m| m.line == LineAddr::new(7)).unwrap();
+        assert!(meta.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny_cache(2, 2);
+        c.fill(LineAddr::new(5), None, None, false);
+        assert!(c.invalidate(LineAddr::new(5)).is_some());
+        assert!(!c.contains(LineAddr::new(5)));
+        assert!(c.invalidate(LineAddr::new(5)).is_none());
+    }
+
+    #[test]
+    fn refill_does_not_duplicate() {
+        let mut c = tiny_cache(2, 1);
+        c.fill(LineAddr::new(1), None, None, false);
+        c.fill(LineAddr::new(1), None, None, true);
+        assert_eq!(c.occupancy(), 1);
+        assert!(c.resident_lines().next().unwrap().dirty);
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut c = tiny_cache(4, 4);
+        for i in 0..10 {
+            c.fill(LineAddr::new(i), None, None, false);
+        }
+        assert_eq!(c.occupancy(), 10);
+    }
+}

@@ -1,0 +1,283 @@
+//! Memory-system configuration mirroring Table I of the paper.
+
+/// Cache levels in the modelled hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Private L1 data cache.
+    L1,
+    /// Private, mostly-inclusive L2.
+    L2,
+    /// Shared, mostly-exclusive L3 (LLC).
+    L3,
+    /// Main memory.
+    Dram,
+}
+
+impl Level {
+    /// All on-chip cache levels, ordered from closest to the core.
+    pub const CACHES: [Level; 3] = [Level::L1, Level::L2, Level::L3];
+}
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (number of ways).
+    pub ways: usize,
+    /// Round-trip load-to-use latency in core cycles.
+    pub latency: u64,
+    /// Number of MSHRs (maximum outstanding misses).
+    pub mshrs: usize,
+}
+
+impl CacheParams {
+    /// Number of sets implied by size, 64 B lines and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not yield a power-of-two, non-zero
+    /// number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        let lines = self.size_bytes / alecto_types::CACHE_LINE_BYTES;
+        let sets = lines as usize / self.ways;
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two, got {sets}");
+        sets
+    }
+
+    /// Table I: 32 KB, 8-way L1 data cache, 4-cycle round trip, 16 MSHRs.
+    #[must_use]
+    pub const fn l1d_default() -> Self {
+        Self { size_bytes: 32 * 1024, ways: 8, latency: 4, mshrs: 16 }
+    }
+
+    /// Table I: 256 KB, 8-way L2, 15-cycle round trip, 32 MSHRs.
+    #[must_use]
+    pub const fn l2_default() -> Self {
+        Self { size_bytes: 256 * 1024, ways: 8, latency: 15, mshrs: 32 }
+    }
+
+    /// Table I: 2 MB per core, 16-way shared L3, 35-cycle round trip,
+    /// 64 MSHRs per LLC bank (one bank per core in this model).
+    #[must_use]
+    pub fn l3_default(cores: usize) -> Self {
+        Self {
+            size_bytes: 2 * 1024 * 1024 * cores as u64,
+            ways: 16,
+            latency: 35,
+            mshrs: 64 * cores,
+        }
+    }
+}
+
+/// Supported DRAM device generations (Fig. 16 compares the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramKind {
+    /// DDR3-1600: 1600 MT/s, 12.8 GB/s per channel.
+    Ddr3_1600,
+    /// DDR4-2400: 2400 MT/s, 19.2 GB/s per channel (Table I default).
+    Ddr4_2400,
+}
+
+/// DRAM organisation and timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramParams {
+    /// Device generation, which sets the per-channel bandwidth.
+    pub kind: DramKind,
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks_per_channel: usize,
+    /// Banks per rank (Table I: 8).
+    pub banks_per_rank: usize,
+    /// Core clock frequency in GHz used to convert nanoseconds to cycles.
+    pub core_ghz: f64,
+    /// Row activate latency (tRCD) in nanoseconds.
+    pub trcd_ns: f64,
+    /// Column access latency (tCAS) in nanoseconds.
+    pub tcas_ns: f64,
+    /// Precharge latency (tRP) in nanoseconds.
+    pub trp_ns: f64,
+    /// Row-buffer size in bytes (8 KiB typical).
+    pub row_bytes: u64,
+}
+
+impl DramParams {
+    /// Table I single-core configuration: one channel, one rank per channel.
+    #[must_use]
+    pub fn single_core(kind: DramKind) -> Self {
+        Self::with_channels(kind, 1, 1)
+    }
+
+    /// Table I multi-core configuration: `#cores / 2` channels (at least one),
+    /// two ranks per channel.
+    #[must_use]
+    pub fn multi_core(kind: DramKind, cores: usize) -> Self {
+        Self::with_channels(kind, (cores / 2).max(1), 2)
+    }
+
+    fn with_channels(kind: DramKind, channels: usize, ranks: usize) -> Self {
+        Self {
+            kind,
+            channels,
+            ranks_per_channel: ranks,
+            banks_per_rank: 8,
+            core_ghz: 2.5,
+            trcd_ns: 14.0,
+            tcas_ns: 14.0,
+            trp_ns: 14.0,
+            row_bytes: 8 * 1024,
+        }
+    }
+
+    /// Per-channel bandwidth in bytes per nanosecond.
+    #[must_use]
+    pub fn channel_bytes_per_ns(&self) -> f64 {
+        match self.kind {
+            DramKind::Ddr3_1600 => 12.8,
+            DramKind::Ddr4_2400 => 19.2,
+        }
+    }
+
+    /// Time to stream one 64 B cache line over the channel, in core cycles.
+    #[must_use]
+    pub fn burst_cycles(&self) -> u64 {
+        let ns = alecto_types::CACHE_LINE_BYTES as f64 / self.channel_bytes_per_ns();
+        self.ns_to_cycles(ns)
+    }
+
+    /// Converts nanoseconds to core cycles (rounded up, at least 1).
+    #[must_use]
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        ((ns * self.core_ghz).ceil() as u64).max(1)
+    }
+
+    /// Total number of banks across the whole memory system.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+}
+
+/// Full hierarchy configuration for `cores` cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyParams {
+    /// Number of cores (each with private L1D and L2).
+    pub cores: usize,
+    /// Private L1 data cache parameters.
+    pub l1d: CacheParams,
+    /// Private L2 parameters.
+    pub l2: CacheParams,
+    /// Shared L3 parameters.
+    pub l3: CacheParams,
+    /// DRAM parameters.
+    pub dram: DramParams,
+}
+
+impl HierarchyParams {
+    /// The Skylake-like configuration of Table I for `cores` cores with
+    /// DDR4-2400 memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn skylake_like(cores: usize) -> Self {
+        assert!(cores > 0, "at least one core required");
+        let dram = if cores == 1 {
+            DramParams::single_core(DramKind::Ddr4_2400)
+        } else {
+            DramParams::multi_core(DramKind::Ddr4_2400, cores)
+        };
+        Self {
+            cores,
+            l1d: CacheParams::l1d_default(),
+            l2: CacheParams::l2_default(),
+            l3: CacheParams::l3_default(cores),
+            dram,
+        }
+    }
+
+    /// Same as [`HierarchyParams::skylake_like`] but with an explicit LLC
+    /// capacity per core (Fig. 15 sweeps 0.5–4 MB per core).
+    #[must_use]
+    pub fn with_llc_per_core(cores: usize, llc_bytes_per_core: u64) -> Self {
+        let mut p = Self::skylake_like(cores);
+        p.l3.size_bytes = llc_bytes_per_core * cores as u64;
+        p
+    }
+
+    /// Same as [`HierarchyParams::skylake_like`] but with the given DRAM kind
+    /// (Fig. 16 compares DDR3-1600 to DDR4-2400).
+    #[must_use]
+    pub fn with_dram(cores: usize, kind: DramKind) -> Self {
+        let mut p = Self::skylake_like(cores);
+        p.dram = if cores == 1 {
+            DramParams::single_core(kind)
+        } else {
+            DramParams::multi_core(kind, cores)
+        };
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry() {
+        let l1 = CacheParams::l1d_default();
+        assert_eq!(l1.num_sets(), 64);
+        let l2 = CacheParams::l2_default();
+        assert_eq!(l2.num_sets(), 512);
+        let l3 = CacheParams::l3_default(1);
+        assert_eq!(l3.num_sets(), 2048);
+        let l3x8 = CacheParams::l3_default(8);
+        assert_eq!(l3x8.num_sets(), 8 * 2048);
+    }
+
+    #[test]
+    fn dram_bandwidth_ordering() {
+        let d3 = DramParams::single_core(DramKind::Ddr3_1600);
+        let d4 = DramParams::single_core(DramKind::Ddr4_2400);
+        assert!(d3.burst_cycles() > d4.burst_cycles());
+        assert!(d4.channel_bytes_per_ns() > d3.channel_bytes_per_ns());
+    }
+
+    #[test]
+    fn multicore_channels_scale() {
+        let d = DramParams::multi_core(DramKind::Ddr4_2400, 8);
+        assert_eq!(d.channels, 4);
+        assert_eq!(d.ranks_per_channel, 2);
+        assert_eq!(d.total_banks(), 4 * 2 * 8);
+        let d1 = DramParams::multi_core(DramKind::Ddr4_2400, 1);
+        assert_eq!(d1.channels, 1);
+    }
+
+    #[test]
+    fn hierarchy_presets() {
+        let h = HierarchyParams::skylake_like(8);
+        assert_eq!(h.cores, 8);
+        assert_eq!(h.l3.size_bytes, 16 * 1024 * 1024);
+        let h = HierarchyParams::with_llc_per_core(2, 512 * 1024);
+        assert_eq!(h.l3.size_bytes, 1024 * 1024);
+        let h = HierarchyParams::with_dram(1, DramKind::Ddr3_1600);
+        assert_eq!(h.dram.kind, DramKind::Ddr3_1600);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = HierarchyParams::skylake_like(0);
+    }
+
+    #[test]
+    fn ns_to_cycles_rounds_up() {
+        let d = DramParams::single_core(DramKind::Ddr4_2400);
+        assert_eq!(d.ns_to_cycles(0.1), 1);
+        assert_eq!(d.ns_to_cycles(14.0), 35);
+    }
+}

@@ -1,0 +1,193 @@
+//! Miss Status Holding Registers: track outstanding misses per cache so that
+//! (a) repeated misses to the same line merge instead of re-fetching, and
+//! (b) the number of outstanding misses — and therefore the exploitable
+//! memory-level parallelism — is bounded, as in Table I (16/32/64 MSHRs).
+
+use std::collections::HashMap;
+
+use alecto_types::{LineAddr, PrefetcherId};
+
+use crate::stats::Cycle;
+
+/// One outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrEntry {
+    /// Line being fetched.
+    pub line: LineAddr,
+    /// Cycle at which the fill completes and the entry retires.
+    pub completion: Cycle,
+    /// Whether the entry was allocated by a prefetch (and by whom).
+    pub prefetch_issuer: Option<PrefetcherId>,
+    /// Whether a demand access has already merged into this entry.
+    pub demand_merged: bool,
+}
+
+/// A fixed-capacity file of outstanding misses.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<LineAddr, MshrEntry>,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        Self { capacity, entries: HashMap::with_capacity(capacity) }
+    }
+
+    /// Maximum number of outstanding misses.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently outstanding misses (after retiring entries whose
+    /// completion is `<= now`).
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.entries.len()
+    }
+
+    /// Removes entries that completed at or before `now`.
+    pub fn retire(&mut self, now: Cycle) {
+        self.entries.retain(|_, e| e.completion > now);
+    }
+
+    /// Looks up an in-flight miss for `line`, retiring stale entries first.
+    pub fn lookup(&mut self, line: LineAddr, now: Cycle) -> Option<&mut MshrEntry> {
+        self.retire(now);
+        self.entries.get_mut(&line)
+    }
+
+    /// Returns the earliest completion time among outstanding entries, if any.
+    #[must_use]
+    pub fn earliest_completion(&self) -> Option<Cycle> {
+        self.entries.values().map(|e| e.completion).min()
+    }
+
+    /// Allocates an entry for `line`.
+    ///
+    /// If the file is full, demand allocations first displace an outstanding
+    /// *prefetch* entry (demands have priority over best-effort prefetches in
+    /// real MSHR designs); only when every entry belongs to a demand does the
+    /// new request stall until the earliest outstanding miss retires. The
+    /// returned value is the number of cycles the requester had to stall.
+    ///
+    /// The caller is responsible for having checked that `line` is not already
+    /// in flight (via [`MshrFile::lookup`]).
+    pub fn allocate(
+        &mut self,
+        line: LineAddr,
+        completion: Cycle,
+        prefetch_issuer: Option<PrefetcherId>,
+        now: Cycle,
+    ) -> Cycle {
+        self.retire(now);
+        let mut stall = 0;
+        if self.entries.len() >= self.capacity {
+            // Demand priority: displace the prefetch entry that would complete
+            // last (it has received the least DRAM service so far).
+            let prefetch_victim = if prefetch_issuer.is_none() {
+                self.entries
+                    .values()
+                    .filter(|e| e.prefetch_issuer.is_some() && !e.demand_merged)
+                    .max_by_key(|e| e.completion)
+                    .map(|e| e.line)
+            } else {
+                None
+            };
+            if let Some(victim) = prefetch_victim {
+                self.entries.remove(&victim);
+            } else {
+                // Structural hazard: wait for the oldest outstanding miss.
+                if let Some(earliest) = self.earliest_completion() {
+                    stall = earliest.saturating_sub(now);
+                    self.retire(earliest);
+                }
+                // If retiring did not help (all completions identical and
+                // still in the future), forcefully drop the earliest to make
+                // room; this only triggers under extreme oversubscription.
+                if self.entries.len() >= self.capacity {
+                    if let Some((&victim, _)) =
+                        self.entries.iter().min_by_key(|(_, e)| e.completion)
+                    {
+                        self.entries.remove(&victim);
+                    }
+                }
+            }
+        }
+        self.entries.insert(
+            line,
+            MshrEntry { line, completion: completion + stall, prefetch_issuer, demand_merged: false },
+        );
+        stall
+    }
+
+    /// True if the file currently has a free entry at `now`.
+    pub fn has_free(&mut self, now: Cycle) -> bool {
+        self.occupancy(now) < self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_lookup() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.capacity(), 2);
+        let stall = m.allocate(LineAddr::new(1), 100, None, 0);
+        assert_eq!(stall, 0);
+        assert!(m.lookup(LineAddr::new(1), 10).is_some());
+        assert!(m.lookup(LineAddr::new(2), 10).is_none());
+        // After completion the entry retires.
+        assert!(m.lookup(LineAddr::new(1), 100).is_none());
+    }
+
+    #[test]
+    fn merge_flag_is_writable() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr::new(5), 50, Some(PrefetcherId(1)), 0);
+        let e = m.lookup(LineAddr::new(5), 1).unwrap();
+        assert_eq!(e.prefetch_issuer, Some(PrefetcherId(1)));
+        assert!(!e.demand_merged);
+        e.demand_merged = true;
+        assert!(m.lookup(LineAddr::new(5), 2).unwrap().demand_merged);
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr::new(1), 100, None, 0);
+        m.allocate(LineAddr::new(2), 200, None, 0);
+        assert!(!m.has_free(0));
+        // Third allocation at cycle 10 must wait for the earliest (100).
+        let stall = m.allocate(LineAddr::new(3), 300, None, 10);
+        assert_eq!(stall, 90);
+        assert!(m.lookup(LineAddr::new(3), 150).is_some());
+    }
+
+    #[test]
+    fn occupancy_retires_completed() {
+        let mut m = MshrFile::new(4);
+        m.allocate(LineAddr::new(1), 10, None, 0);
+        m.allocate(LineAddr::new(2), 20, None, 0);
+        assert_eq!(m.occupancy(5), 2);
+        assert_eq!(m.occupancy(15), 1);
+        assert_eq!(m.occupancy(25), 0);
+        assert!(m.has_free(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

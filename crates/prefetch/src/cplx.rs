@@ -1,0 +1,350 @@
+//! CPLX — the complex-stride component of IPCP (used in the alternate
+//! composite of Fig. 11).
+//!
+//! CPLX predicts *varying* delta sequences (e.g. +1, +1, +1, +4, repeating)
+//! that defeat a constant-stride prefetcher. It hashes the recent delta
+//! history of each PC into a signature and looks the signature up in a Delta
+//! Prediction Table (DPT) that stores the next expected delta with a
+//! confidence counter, in the spirit of VLDP.
+
+use alecto_types::{DemandAccess, LineAddr, Pc};
+
+use crate::traits::{Prefetcher, PrefetcherKind, TableStats};
+
+const SIGNATURE_DELTAS: usize = 3;
+
+#[derive(Debug, Clone, Copy)]
+struct IpEntry {
+    tag: Pc,
+    last_line: LineAddr,
+    recent_deltas: [i64; SIGNATURE_DELTAS],
+    valid_deltas: usize,
+    lru: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DptEntry {
+    signature: u32,
+    predicted_delta: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+/// Configuration of the CPLX prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CplxConfig {
+    /// Per-PC tracking entries.
+    pub ip_entries: usize,
+    /// Delta Prediction Table entries.
+    pub dpt_entries: usize,
+    /// Confidence needed before prefetching.
+    pub confidence_threshold: u8,
+    /// Confidence saturation value.
+    pub confidence_max: u8,
+}
+
+impl Default for CplxConfig {
+    fn default() -> Self {
+        Self { ip_entries: 64, dpt_entries: 128, confidence_threshold: 2, confidence_max: 7 }
+    }
+}
+
+/// The CPLX complex-stride prefetcher.
+#[derive(Debug, Clone)]
+pub struct CplxPrefetcher {
+    config: CplxConfig,
+    ip_table: Vec<Option<IpEntry>>,
+    dpt: Vec<Option<DptEntry>>,
+    lru_clock: u64,
+    stats: TableStats,
+}
+
+impl CplxPrefetcher {
+    /// Creates a CPLX prefetcher with the given configuration.
+    #[must_use]
+    pub fn new(config: CplxConfig) -> Self {
+        Self {
+            ip_table: vec![None; config.ip_entries],
+            dpt: vec![None; config.dpt_entries],
+            config,
+            lru_clock: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Creates a CPLX prefetcher with the default configuration.
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self::new(CplxConfig::default())
+    }
+
+    fn signature(deltas: &[i64; SIGNATURE_DELTAS]) -> u32 {
+        // Order-sensitive multiplicative fold of the (truncated) deltas into a
+        // 12-bit signature; a plain shift-XOR here aliases short histories
+        // like (1,1,1) and (4,1,1).
+        let mut sig: u32 = 0;
+        for &d in deltas {
+            let folded = ((d & 0x7f) as u32) ^ (((d >> 7) & 0x7f) as u32);
+            sig = sig.wrapping_mul(31).wrapping_add(folded.wrapping_add(1));
+        }
+        sig & 0xfff
+    }
+
+    fn ip_slot(&mut self, pc: Pc) -> (usize, bool) {
+        if let Some(i) = self.ip_table.iter().position(|e| e.map(|e| e.tag) == Some(pc)) {
+            return (i, true);
+        }
+        if let Some(i) = self.ip_table.iter().position(Option::is_none) {
+            return (i, false);
+        }
+        let victim = self
+            .ip_table
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.map(|e| e.lru).unwrap_or(0))
+            .map(|(i, _)| i)
+            .expect("IP table non-empty");
+        self.stats.evictions += 1;
+        (victim, false)
+    }
+
+    fn dpt_update(&mut self, signature: u32, observed_delta: i64) {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let max = self.config.confidence_max;
+        if let Some(e) = self.dpt.iter_mut().flatten().find(|e| e.signature == signature) {
+            e.lru = clock;
+            if e.predicted_delta == observed_delta {
+                e.confidence = (e.confidence + 1).min(max);
+            } else if e.confidence > 0 {
+                e.confidence -= 1;
+            } else {
+                e.predicted_delta = observed_delta;
+                e.confidence = 1;
+            }
+            return;
+        }
+        let slot = if let Some(i) = self.dpt.iter().position(Option::is_none) {
+            i
+        } else {
+            let victim = self
+                .dpt
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.map(|e| e.lru).unwrap_or(0))
+                .map(|(i, _)| i)
+                .expect("DPT non-empty");
+            self.stats.evictions += 1;
+            victim
+        };
+        self.dpt[slot] = Some(DptEntry { signature, predicted_delta: observed_delta, confidence: 1, lru: clock });
+    }
+
+    fn dpt_lookup(&mut self, signature: u32) -> Option<(i64, u8)> {
+        self.stats.lookups += 1;
+        match self.dpt.iter().flatten().find(|e| e.signature == signature) {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some((e.predicted_delta, e.confidence))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+impl Prefetcher for CplxPrefetcher {
+    fn name(&self) -> &'static str {
+        "CPLX"
+    }
+
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::DeltaComplex
+    }
+
+    fn train_and_predict(&mut self, access: &DemandAccess, degree: u32, out: &mut Vec<LineAddr>) {
+        let line = access.line();
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        self.stats.trainings += 1;
+        let (slot, hit) = self.ip_slot(access.pc);
+        if !hit {
+            self.ip_table[slot] = Some(IpEntry {
+                tag: access.pc,
+                last_line: line,
+                recent_deltas: [0; SIGNATURE_DELTAS],
+                valid_deltas: 0,
+                lru: clock,
+            });
+            return;
+        }
+        let entry = self.ip_table[slot].as_mut().expect("hit entries are present");
+        entry.lru = clock;
+        let delta = line.delta_from(entry.last_line);
+        entry.last_line = line;
+        if delta == 0 {
+            return;
+        }
+
+        // Train the DPT with the signature of the *previous* deltas → this delta.
+        if entry.valid_deltas == SIGNATURE_DELTAS {
+            let sig = Self::signature(&entry.recent_deltas);
+            self.dpt_update(sig, delta);
+        }
+        // Shift the delta history.
+        let mut deltas = self.ip_table[slot].as_ref().unwrap().recent_deltas;
+        deltas.rotate_left(1);
+        deltas[SIGNATURE_DELTAS - 1] = delta;
+        {
+            let entry = self.ip_table[slot].as_mut().unwrap();
+            entry.recent_deltas = deltas;
+            entry.valid_deltas = (entry.valid_deltas + 1).min(SIGNATURE_DELTAS);
+        }
+
+        if degree == 0 || self.ip_table[slot].as_ref().unwrap().valid_deltas < SIGNATURE_DELTAS {
+            return;
+        }
+        // Chained prediction: follow the DPT from the current signature for up
+        // to `degree` steps.
+        let mut sig_deltas = deltas;
+        let mut current = line;
+        for _ in 0..degree {
+            let sig = Self::signature(&sig_deltas);
+            let Some((next_delta, confidence)) = self.dpt_lookup(sig) else {
+                break;
+            };
+            if confidence < self.config.confidence_threshold || next_delta == 0 {
+                break;
+            }
+            current = current.offset(next_delta);
+            out.push(current);
+            self.stats.candidates_emitted += 1;
+            sig_deltas.rotate_left(1);
+            sig_deltas[SIGNATURE_DELTAS - 1] = next_delta;
+        }
+    }
+
+    fn probe(&self, access: &DemandAccess) -> bool {
+        self.ip_table.iter().flatten().any(|e| {
+            e.tag == access.pc && e.valid_deltas == SIGNATURE_DELTAS && {
+                let sig = Self::signature(&e.recent_deltas);
+                self.dpt
+                    .iter()
+                    .flatten()
+                    .any(|d| d.signature == sig && d.confidence >= self.config.confidence_threshold)
+            }
+        })
+    }
+
+    fn table_stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TableStats::default();
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // IP entry: tag 16 b + last line 58 b + 2×12 b deltas + 2 b valid + 6 b LRU.
+        // DPT entry: signature 12 b + delta 12 b + confidence 3 b + LRU 7 b.
+        (self.config.ip_entries as u64) * (16 + 58 + 24 + 2 + 6)
+            + (self.config.dpt_entries as u64) * (12 + 12 + 3 + 7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alecto_types::Addr;
+
+    fn access(pc: u64, addr: u64) -> DemandAccess {
+        DemandAccess::load(Pc::new(pc), Addr::new(addr))
+    }
+
+    /// Drives a repeating delta sequence (in lines) through the prefetcher.
+    fn drive(pf: &mut CplxPrefetcher, pc: u64, deltas: &[i64], reps: usize, degree: u32) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        let mut line: i64 = 1 << 20;
+        for _ in 0..reps {
+            for &d in deltas {
+                out.clear();
+                pf.train_and_predict(&access(pc, (line as u64) * 64), degree, &mut out);
+                line += d;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn repeating_complex_pattern_is_predicted() {
+        let mut pf = CplxPrefetcher::default_config();
+        let out = drive(&mut pf, 0xa00, &[1, 1, 1, 4], 20, 3);
+        assert!(!out.is_empty(), "repeating +1,+1,+1,+4 should be predictable");
+    }
+
+    #[test]
+    fn chained_predictions_follow_the_sequence() {
+        let mut pf = CplxPrefetcher::default_config();
+        // Strict +2,+3 alternation.
+        drive(&mut pf, 0xa04, &[2, 3], 30, 0);
+        let mut out = Vec::new();
+        // Continue the pattern explicitly so we know the phase: after ..+2,+3
+        // the next deltas are +2 then +3.
+        let base: u64 = 1 << 21;
+        let seq = [0i64, 2, 5, 7, 10, 12, 15];
+        let mut last = 0;
+        for &s in &seq {
+            out.clear();
+            pf.train_and_predict(&access(0xa04, (base + s as u64) * 64), 2, &mut out);
+            last = base + s as u64;
+        }
+        let last_line = LineAddr::new(last);
+        assert_eq!(out[0], last_line.offset(2));
+        if out.len() > 1 {
+            assert_eq!(out[1], last_line.offset(5));
+        }
+    }
+
+    #[test]
+    fn constant_stride_also_handled() {
+        let mut pf = CplxPrefetcher::default_config();
+        let out = drive(&mut pf, 0xa08, &[7], 10, 2);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn random_deltas_not_predicted() {
+        // A non-repeating pseudo-random delta walk: no signature ever recurs
+        // with a consistent successor, so nothing should be predicted.
+        let mut pf = CplxPrefetcher::default_config();
+        let mut out = Vec::new();
+        let mut line: i64 = 1 << 22;
+        for i in 0..64i64 {
+            out.clear();
+            pf.train_and_predict(&access(0xa0c, (line as u64) * 64), 2, &mut out);
+            line += (i * i * 7 + 13) % 97 - 48;
+        }
+        assert!(out.is_empty(), "non-repeating deltas should not be predicted: {out:?}");
+    }
+
+    #[test]
+    fn stats_track_dpt_lookups() {
+        let mut pf = CplxPrefetcher::default_config();
+        drive(&mut pf, 0xa10, &[1, 2], 10, 2);
+        let s = pf.table_stats();
+        assert!(s.lookups > 0);
+        assert!(s.trainings > 0);
+        pf.reset_stats();
+        assert_eq!(pf.table_stats().lookups, 0);
+    }
+
+    #[test]
+    fn name_kind_storage() {
+        let pf = CplxPrefetcher::default_config();
+        assert_eq!(pf.name(), "CPLX");
+        assert_eq!(pf.kind(), PrefetcherKind::DeltaComplex);
+        assert!(pf.storage_bits() > 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! CS — the constant-stride component of IPCP (Table II: 64-entry IP table).
+//!
+//! Each memory-access instruction (PC) owns one entry tracking its last
+//! accessed line, the last observed stride and a two-bit confidence counter.
+//! Once the same stride repeats, the prefetcher issues `degree` prefetches
+//! along that stride.
+
+use alecto_types::{DemandAccess, LineAddr, Pc, SaturatingCounter};
+
+use crate::traits::{Prefetcher, PrefetcherKind, TableStats};
+
+#[derive(Debug, Clone, Copy)]
+struct StrideEntry {
+    tag: Pc,
+    last_line: LineAddr,
+    stride: i64,
+    confidence: SaturatingCounter,
+    lru: u64,
+}
+
+/// Configuration of the stride prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideConfig {
+    /// Number of IP-table entries (Table II: 64).
+    pub entries: usize,
+    /// Confidence needed before prefetching (2 of a 2-bit counter).
+    pub confidence_threshold: u32,
+}
+
+impl Default for StrideConfig {
+    fn default() -> Self {
+        Self { entries: 64, confidence_threshold: 2 }
+    }
+}
+
+/// The CS constant-stride prefetcher.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    config: StrideConfig,
+    table: Vec<Option<StrideEntry>>,
+    lru_clock: u64,
+    stats: TableStats,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher with the given configuration.
+    #[must_use]
+    pub fn new(config: StrideConfig) -> Self {
+        Self { table: vec![None; config.entries], config, lru_clock: 0, stats: TableStats::default() }
+    }
+
+    /// Creates a stride prefetcher with the Table II configuration.
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self::new(StrideConfig::default())
+    }
+
+    fn find_slot(&mut self, pc: Pc) -> (usize, bool) {
+        // Fully-associative with LRU replacement, matching the small IP table.
+        if let Some(i) = self.table.iter().position(|e| e.map(|e| e.tag) == Some(pc)) {
+            return (i, true);
+        }
+        if let Some(i) = self.table.iter().position(Option::is_none) {
+            return (i, false);
+        }
+        let victim = self
+            .table
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.map(|e| e.lru).unwrap_or(0))
+            .map(|(i, _)| i)
+            .expect("table is non-empty");
+        self.stats.evictions += 1;
+        (victim, false)
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn name(&self) -> &'static str {
+        "CS"
+    }
+
+    fn kind(&self) -> PrefetcherKind {
+        PrefetcherKind::Stride
+    }
+
+    fn train_and_predict(&mut self, access: &DemandAccess, degree: u32, out: &mut Vec<LineAddr>) {
+        let line = access.line();
+        self.lru_clock += 1;
+        self.stats.lookups += 1;
+        self.stats.trainings += 1;
+        let (slot, hit) = self.find_slot(access.pc);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            self.table[slot] = Some(StrideEntry {
+                tag: access.pc,
+                last_line: line,
+                stride: 0,
+                confidence: SaturatingCounter::with_bits(2),
+                lru: self.lru_clock,
+            });
+            return;
+        }
+        let entry = self.table[slot].as_mut().expect("hit entries are present");
+        entry.lru = self.lru_clock;
+        let new_stride = line.delta_from(entry.last_line);
+        if new_stride == 0 {
+            // Same-line re-reference carries no stride information.
+            return;
+        }
+        if new_stride == entry.stride {
+            entry.confidence.increment();
+        } else {
+            entry.stride = new_stride;
+            entry.confidence.reset();
+            entry.confidence.increment();
+        }
+        entry.last_line = line;
+        if entry.confidence.value() >= self.config.confidence_threshold && entry.stride != 0 {
+            let stride = entry.stride;
+            for i in 1..=i64::from(degree) {
+                out.push(line.offset(stride * i));
+            }
+            self.stats.candidates_emitted += u64::from(degree);
+        }
+    }
+
+    fn probe(&self, access: &DemandAccess) -> bool {
+        self.table
+            .iter()
+            .flatten()
+            .any(|e| e.tag == access.pc && e.confidence.value() >= self.config.confidence_threshold)
+    }
+
+    fn table_stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = TableStats::default();
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per entry: tag (16 b folded PC), last line (58 b), stride (12 b),
+        // confidence (2 b), LRU (6 b) — the same ballpark as IPCP's CS.
+        (self.config.entries as u64) * (16 + 58 + 12 + 2 + 6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alecto_types::Addr;
+
+    fn access(pc: u64, addr: u64) -> DemandAccess {
+        DemandAccess::load(Pc::new(pc), Addr::new(addr))
+    }
+
+    #[test]
+    fn constant_stride_is_learned() {
+        let mut pf = StridePrefetcher::default_config();
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            out.clear();
+            pf.train_and_predict(&access(0x10, 0x1000 + i * 128), 3, &mut out);
+        }
+        // 128 B stride = 2 lines; expect next lines at +2, +4, +6 lines.
+        let base = Addr::new(0x1000 + 3 * 128).line();
+        assert_eq!(out, vec![base.offset(2), base.offset(4), base.offset(6)]);
+    }
+
+    #[test]
+    fn negative_stride_supported() {
+        let mut pf = StridePrefetcher::default_config();
+        let mut out = Vec::new();
+        for i in (0..5u64).rev() {
+            out.clear();
+            pf.train_and_predict(&access(0x20, 0x8000 + i * 64), 2, &mut out);
+        }
+        let base = Addr::new(0x8000).line();
+        assert_eq!(out, vec![base.offset(-1), base.offset(-2)]);
+    }
+
+    #[test]
+    fn changing_stride_resets_confidence() {
+        let mut pf = StridePrefetcher::default_config();
+        let mut out = Vec::new();
+        // Establish stride of 1 line.
+        for i in 0..3u64 {
+            pf.train_and_predict(&access(0x30, 0x1000 + i * 64), 2, &mut out);
+        }
+        out.clear();
+        // Break the pattern: big jump. Confidence resets, no prefetch.
+        pf.train_and_predict(&access(0x30, 0x9000), 2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn degree_zero_trains_without_output() {
+        let mut pf = StridePrefetcher::default_config();
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            pf.train_and_predict(&access(0x40, 0x1000 + i * 64), 0, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(pf.table_stats().trainings, 5);
+    }
+
+    #[test]
+    fn table_miss_counted_for_new_pcs() {
+        let mut pf = StridePrefetcher::default_config();
+        let mut out = Vec::new();
+        for pc in 0..10u64 {
+            pf.train_and_predict(&access(pc, pc * 0x100), 2, &mut out);
+        }
+        assert_eq!(pf.table_stats().misses, 10);
+        assert_eq!(pf.table_stats().hits, 0);
+    }
+
+    #[test]
+    fn capacity_evictions_happen() {
+        let mut pf = StridePrefetcher::new(StrideConfig { entries: 4, confidence_threshold: 2 });
+        let mut out = Vec::new();
+        for pc in 0..8u64 {
+            pf.train_and_predict(&access(pc, 0x1000), 1, &mut out);
+        }
+        assert!(pf.table_stats().evictions >= 4);
+    }
+
+    #[test]
+    fn same_line_rereference_is_ignored() {
+        let mut pf = StridePrefetcher::default_config();
+        let mut out = Vec::new();
+        for _ in 0..6 {
+            pf.train_and_predict(&access(0x50, 0x2000), 4, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_reset_keeps_table() {
+        let mut pf = StridePrefetcher::default_config();
+        let mut out = Vec::new();
+        for i in 0..3u64 {
+            pf.train_and_predict(&access(0x60, 0x1000 + i * 64), 1, &mut out);
+        }
+        pf.reset_stats();
+        assert_eq!(pf.table_stats().trainings, 0);
+        out.clear();
+        // The learned stride survives the stats reset.
+        pf.train_and_predict(&access(0x60, 0x1000 + 3 * 64), 1, &mut out);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn storage_is_positive_and_scales() {
+        let small = StridePrefetcher::new(StrideConfig { entries: 16, confidence_threshold: 2 });
+        let big = StridePrefetcher::default_config();
+        assert!(big.storage_bits() > small.storage_bits());
+        assert_eq!(big.kind(), PrefetcherKind::Stride);
+        assert_eq!(big.name(), "CS");
+        assert!(!big.is_temporal());
+    }
+}

@@ -1,0 +1,147 @@
+//! The [`Prefetcher`] trait and the bookkeeping every prefetcher maintains
+//! about its internal metadata table.
+
+use alecto_types::{DemandAccess, LineAddr};
+
+/// The broad pattern family a prefetcher targets. Alecto uses this to apply
+//  the temporal-prefetcher special case of transition ① (§IV-A): when both a
+/// temporal and a non-temporal prefetcher qualify for promotion, only the
+/// non-temporal one is promoted, to conserve temporal metadata storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// Monotonic, dense streams (GS).
+    Stream,
+    /// Constant-stride patterns (CS).
+    Stride,
+    /// Spatial bit-pattern prefetchers over pages/regions (PMP, Berti).
+    Spatial,
+    /// Complex / varying delta sequences (CPLX).
+    DeltaComplex,
+    /// Temporal (address-correlation) prefetchers with large metadata tables.
+    Temporal,
+}
+
+impl PrefetcherKind {
+    /// Whether this prefetcher family is a temporal prefetcher.
+    #[must_use]
+    pub const fn is_temporal(self) -> bool {
+        matches!(self, PrefetcherKind::Temporal)
+    }
+}
+
+/// Access statistics of a prefetcher's internal metadata table.
+///
+/// * `misses` feed Fig. 1 (prefetcher table misses with/without DDRA),
+/// * `trainings` feed Fig. 18 (training occurrences, the proxy the paper uses
+///   for prefetcher dynamic energy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Number of table lookups performed.
+    pub lookups: u64,
+    /// Lookups that found a matching entry.
+    pub hits: u64,
+    /// Lookups that missed (no entry for the index/tag).
+    pub misses: u64,
+    /// Training events that wrote the table.
+    pub trainings: u64,
+    /// Valid entries displaced to make room for new ones.
+    pub evictions: u64,
+    /// Prefetch candidate lines produced.
+    pub candidates_emitted: u64,
+}
+
+impl TableStats {
+    /// Table hit ratio in `[0, 1]`; zero when no lookups happened.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: &TableStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.trainings += other.trainings;
+        self.evictions += other.evictions;
+        self.candidates_emitted += other.candidates_emitted;
+    }
+}
+
+/// A hardware prefetcher that is trained on demand accesses and produces
+/// candidate prefetch lines.
+///
+/// The trait is object safe: composites hold `Vec<Box<dyn Prefetcher>>`.
+pub trait Prefetcher {
+    /// Short, stable display name (e.g. `"GS"`, `"PMP"`).
+    fn name(&self) -> &'static str;
+
+    /// Pattern family.
+    fn kind(&self) -> PrefetcherKind;
+
+    /// Trains the prefetcher on `access` and appends up to `degree` candidate
+    /// cache lines to `out`. Candidates must be ordered from most to least
+    /// confident so that callers can truncate to a smaller degree.
+    ///
+    /// A `degree` of zero performs training without emitting candidates
+    /// (used by selection schemes that throttle output but not training).
+    fn train_and_predict(&mut self, access: &DemandAccess, degree: u32, out: &mut Vec<LineAddr>);
+
+    /// Non-destructive query: does this prefetcher believe the access belongs
+    /// to a pattern it can handle (e.g. a confident table entry exists)?
+    ///
+    /// DOL's coordinator uses this to decide whether to stop passing a demand
+    /// request down its static priority chain; the default is a conservative
+    /// `false` ("not mine").
+    fn probe(&self, access: &DemandAccess) -> bool {
+        let _ = access;
+        false
+    }
+
+    /// Statistics of the internal metadata table.
+    fn table_stats(&self) -> &TableStats;
+
+    /// Clears statistics (not the table contents), used between warm-up and
+    /// measurement phases.
+    fn reset_stats(&mut self);
+
+    /// Storage requirement of the prefetcher's metadata in bits, for the
+    /// Table III-style storage accounting.
+    fn storage_bits(&self) -> u64;
+
+    /// Whether this is a temporal prefetcher (default: derived from `kind`).
+    fn is_temporal(&self) -> bool {
+        self.kind().is_temporal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_stats_ratio_and_merge() {
+        let mut a = TableStats { lookups: 10, hits: 7, misses: 3, trainings: 10, evictions: 1, candidates_emitted: 5 };
+        assert!((a.hit_ratio() - 0.7).abs() < 1e-12);
+        let b = TableStats { lookups: 10, hits: 3, misses: 7, trainings: 2, evictions: 0, candidates_emitted: 1 };
+        a.merge(&b);
+        assert_eq!(a.lookups, 20);
+        assert_eq!(a.hits, 10);
+        assert_eq!(a.misses, 10);
+        assert_eq!(a.trainings, 12);
+        assert_eq!(a.evictions, 1);
+        assert_eq!(a.candidates_emitted, 6);
+        assert_eq!(TableStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn kind_temporal_flag() {
+        assert!(PrefetcherKind::Temporal.is_temporal());
+        assert!(!PrefetcherKind::Stream.is_temporal());
+        assert!(!PrefetcherKind::Spatial.is_temporal());
+    }
+}

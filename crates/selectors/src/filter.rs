@@ -1,0 +1,124 @@
+//! A conventional prefetch filter: a small table of recently issued prefetch
+//! lines used to drop duplicate requests.
+//!
+//! §V-B: "Considering Alecto naturally has a prefetch filter, we additionally
+//! add a prefetch filter for other configurations to better reflect
+//! real-world conditions." This is that filter. It is deliberately simple —
+//! a direct-mapped array of line tags — because its only job is to stop the
+//! same line being prefetched over and over by the baselines.
+
+use alecto_types::LineAddr;
+
+/// A direct-mapped recently-prefetched-line filter.
+#[derive(Debug, Clone)]
+pub struct PrefetchFilter {
+    entries: Vec<Option<LineAddr>>,
+    inserted: u64,
+    dropped: u64,
+}
+
+impl PrefetchFilter {
+    /// Creates a filter with `entries` slots (must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0 && entries.is_power_of_two(), "filter size must be a power of two");
+        Self { entries: vec![None; entries], inserted: 0, dropped: 0 }
+    }
+
+    /// The default 512-entry filter (same entry count as Alecto's Sandbox
+    /// Table, for a fair baseline).
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self::new(512)
+    }
+
+    fn index(&self, line: LineAddr) -> usize {
+        (alecto_types::hash::mix64(line.raw()) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Returns `true` if the line was recently prefetched and the request
+    /// should be dropped; otherwise records it and returns `false`.
+    pub fn check_and_insert(&mut self, line: LineAddr) -> bool {
+        let idx = self.index(line);
+        if self.entries[idx] == Some(line) {
+            self.dropped += 1;
+            return true;
+        }
+        self.entries[idx] = Some(line);
+        self.inserted += 1;
+        false
+    }
+
+    /// Number of requests recorded.
+    #[must_use]
+    pub const fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Number of requests dropped as duplicates.
+    #[must_use]
+    pub const fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Storage in bits (tag per entry, ~22-bit partial tags).
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * 22
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut f = PrefetchFilter::new(64);
+        assert!(!f.check_and_insert(LineAddr::new(10)));
+        assert!(f.check_and_insert(LineAddr::new(10)));
+        assert_eq!(f.dropped(), 1);
+        assert_eq!(f.inserted(), 1);
+    }
+
+    #[test]
+    fn distinct_lines_pass() {
+        let mut f = PrefetchFilter::new(64);
+        let mut dropped = 0;
+        for i in 0..32u64 {
+            if f.check_and_insert(LineAddr::new(i * 1024 + 7)) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped <= 2, "few collisions expected among 32 distinct lines in 64 slots");
+    }
+
+    #[test]
+    fn capacity_conflicts_eventually_forget() {
+        let mut f = PrefetchFilter::new(8);
+        f.check_and_insert(LineAddr::new(1));
+        // Flood with many other lines, likely overwriting slot of line 1.
+        for i in 2..200u64 {
+            f.check_and_insert(LineAddr::new(i));
+        }
+        // Line 1 may or may not still be present, but re-inserting never panics
+        // and the counters stay consistent.
+        let _ = f.check_and_insert(LineAddr::new(1));
+        assert!(f.inserted() + f.dropped() == 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = PrefetchFilter::new(100);
+    }
+
+    #[test]
+    fn storage_scales_with_entries() {
+        assert!(PrefetchFilter::new(512).storage_bits() > PrefetchFilter::new(64).storage_bits());
+    }
+}

@@ -1,0 +1,279 @@
+//! Benchmark blends: a declarative description of how much of each access
+//! pattern a benchmark exhibits, turned into a concrete trace.
+
+use alecto_types::Workload;
+
+use crate::patterns::{
+    delta_chain, interleave_weighted, looping_stream, pointer_chase, random_noise, spatial_pages,
+    stream, strided, Component,
+};
+
+/// Pattern mixture and intensity of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blend {
+    /// Benchmark name.
+    pub name: String,
+    /// Whether the paper lists the benchmark as memory intensive.
+    pub memory_intensive: bool,
+    /// Weight of unit-stride stream components.
+    pub stream: f64,
+    /// Weight of constant-stride components.
+    pub stride: f64,
+    /// Weight of per-page spatial-footprint components.
+    pub spatial: f64,
+    /// Weight of complex (repeating delta-chain) components.
+    pub delta: f64,
+    /// Weight of recurring pointer-chase (temporal) components.
+    pub chase: f64,
+    /// Weight of bounded, recurring loop-stream components (recurring *and*
+    /// coverable by non-temporal prefetchers — the §IV-F filtering case).
+    pub loop_stream: f64,
+    /// Weight of cache-resident reuse (compute-bound) components.
+    pub resident: f64,
+    /// Weight of unpredictable far-spread noise components.
+    pub noise: f64,
+    /// Average non-memory instructions between accesses (memory intensity).
+    pub gap: u32,
+    /// Number of nodes in the pointer-chase working set.
+    pub chase_nodes: usize,
+    /// Random seed (derived from the name by default).
+    pub seed: u64,
+}
+
+impl Blend {
+    /// Starts a builder for benchmark `name`.
+    #[must_use]
+    pub fn builder(name: &str) -> BlendBuilder {
+        BlendBuilder::new(name)
+    }
+
+    /// Materialises the blend into a trace of `accesses` memory accesses.
+    #[must_use]
+    pub fn build(&self, accesses: usize) -> Workload {
+        let gap = self.gap;
+        let seed = self.seed;
+        let mut components: Vec<Component> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let add = |c: Component, w: f64, weights: &mut Vec<f64>, components: &mut Vec<Component>| {
+            if w > 0.0 {
+                components.push(c);
+                weights.push(w);
+            }
+        };
+
+        // Two stream PCs walking disjoint regions (one ascending, one descending).
+        add(stream(0x4_1000, 0x4000_0000, gap, true), self.stream * 0.6, &mut weights, &mut components);
+        add(stream(0x4_1010, 0x8000_0000, gap, false), self.stream * 0.4, &mut weights, &mut components);
+        // Two stride PCs with different strides (2 lines and 5 lines).
+        add(strided(0x4_2000, 0xc000_0000, 128, gap), self.stride * 0.5, &mut weights, &mut components);
+        add(strided(0x4_2010, 0x1_0000_0000, 320, gap), self.stride * 0.5, &mut weights, &mut components);
+        // A spatial PC touching a fixed footprint in every visited page.
+        add(
+            spatial_pages(0x4_3000, 0x14_0000, vec![0, 1, 3, 6, 10, 11], gap),
+            self.spatial,
+            &mut weights,
+            &mut components,
+        );
+        // A complex delta chain (defeats the constant-stride prefetcher).
+        add(
+            delta_chain(0x4_4000, 0x1_8000_0000, vec![1, 1, 1, 4], gap),
+            self.delta,
+            &mut weights,
+            &mut components,
+        );
+        // A recurring pointer chase (temporal pattern).
+        add(
+            pointer_chase(0x4_5000, 0x2_0000_0000, self.chase_nodes.max(2), gap, seed ^ 0x1),
+            self.chase,
+            &mut weights,
+            &mut components,
+        );
+        // A bounded loop re-streamed every iteration (recurring but coverable
+        // by the stream/stride prefetchers).
+        add(
+            looping_stream(0x4_5800, 0x2_8000_0000, 4_096, gap),
+            self.loop_stream,
+            &mut weights,
+            &mut components,
+        );
+        // Cache-resident reuse: a small region revisited over and over.
+        add(
+            random_noise(0x4_6000, 0x10_0000, 24 * 1024, gap, seed ^ 0x2),
+            self.resident,
+            &mut weights,
+            &mut components,
+        );
+        // Unpredictable noise spread over a DRAM-sized region.
+        add(
+            random_noise(0x4_7000, 0x3_0000_0000, 256 * 1024 * 1024, gap, seed ^ 0x3),
+            self.noise,
+            &mut weights,
+            &mut components,
+        );
+
+        let records = interleave_weighted(components, &weights, accesses, seed);
+        Workload::new(self.name.clone(), records, self.memory_intensive)
+    }
+}
+
+/// Builder for [`Blend`]; all weights default to zero, the gap defaults to 30
+/// instructions and the chase working set to 2000 nodes.
+#[derive(Debug, Clone)]
+pub struct BlendBuilder {
+    blend: Blend,
+}
+
+impl BlendBuilder {
+    /// Creates a builder for benchmark `name`; the seed is derived from the
+    /// name so regeneration is deterministic.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1_0000_01b3)
+        });
+        Self {
+            blend: Blend {
+                name: name.to_string(),
+                memory_intensive: false,
+                stream: 0.0,
+                stride: 0.0,
+                spatial: 0.0,
+                delta: 0.0,
+                chase: 0.0,
+                loop_stream: 0.0,
+                resident: 0.0,
+                noise: 0.0,
+                gap: 30,
+                chase_nodes: 2_000,
+                seed,
+            },
+        }
+    }
+
+    /// Marks the benchmark memory intensive (Fig. 8/9 dotted-box subset).
+    #[must_use]
+    pub fn memory_intensive(mut self) -> Self {
+        self.blend.memory_intensive = true;
+        self
+    }
+
+    /// Sets the stream weight.
+    #[must_use]
+    pub fn stream(mut self, w: f64) -> Self {
+        self.blend.stream = w;
+        self
+    }
+
+    /// Sets the constant-stride weight.
+    #[must_use]
+    pub fn stride(mut self, w: f64) -> Self {
+        self.blend.stride = w;
+        self
+    }
+
+    /// Sets the spatial-footprint weight.
+    #[must_use]
+    pub fn spatial(mut self, w: f64) -> Self {
+        self.blend.spatial = w;
+        self
+    }
+
+    /// Sets the complex delta-chain weight.
+    #[must_use]
+    pub fn delta(mut self, w: f64) -> Self {
+        self.blend.delta = w;
+        self
+    }
+
+    /// Sets the pointer-chase (temporal) weight.
+    #[must_use]
+    pub fn chase(mut self, w: f64) -> Self {
+        self.blend.chase = w;
+        self
+    }
+
+    /// Sets the recurring loop-stream weight.
+    #[must_use]
+    pub fn loop_stream(mut self, w: f64) -> Self {
+        self.blend.loop_stream = w;
+        self
+    }
+
+    /// Sets the cache-resident reuse weight.
+    #[must_use]
+    pub fn resident(mut self, w: f64) -> Self {
+        self.blend.resident = w;
+        self
+    }
+
+    /// Sets the unpredictable-noise weight.
+    #[must_use]
+    pub fn noise(mut self, w: f64) -> Self {
+        self.blend.noise = w;
+        self
+    }
+
+    /// Sets the average instruction gap between memory accesses.
+    #[must_use]
+    pub fn gap(mut self, gap: u32) -> Self {
+        self.blend.gap = gap;
+        self
+    }
+
+    /// Sets the number of nodes in the pointer-chase working set.
+    #[must_use]
+    pub fn chase_nodes(mut self, nodes: usize) -> Self {
+        self.blend.chase_nodes = nodes;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn finish(self) -> Blend {
+        self.blend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alecto_types::Pc;
+
+    #[test]
+    fn builder_produces_named_workload() {
+        let blend = Blend::builder("toy").memory_intensive().stream(1.0).gap(10).finish();
+        let w = blend.build(1_000);
+        assert_eq!(w.name, "toy");
+        assert!(w.memory_intensive);
+        assert_eq!(w.memory_accesses(), 1_000);
+        // gap 10 → roughly 11 instructions per access.
+        assert!(w.instructions() >= 10_000);
+    }
+
+    #[test]
+    fn weights_steer_the_pattern_mix() {
+        let blend = Blend::builder("chase-heavy").chase(0.9).stream(0.1).gap(5).finish();
+        let w = blend.build(4_000);
+        let chase_pc = w.records.iter().filter(|r| r.pc == Pc::new(0x4_5000)).count();
+        assert!(chase_pc > 3_000, "chase PC should dominate, got {chase_pc}");
+    }
+
+    #[test]
+    fn different_names_get_different_seeds() {
+        let a = Blend::builder("a").noise(1.0).finish().build(200);
+        let b = Blend::builder("b").noise(1.0).finish().build(200);
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn same_blend_is_reproducible() {
+        let mk = || Blend::builder("repro").stream(0.5).chase(0.5).finish().build(300);
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_blend_panics() {
+        let _ = Blend::builder("empty").finish().build(10);
+    }
+}

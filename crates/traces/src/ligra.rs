@@ -1,0 +1,164 @@
+//! Ligra-like graph-processing workloads (Fig. 17, eight-core runs).
+//!
+//! The paper runs Ligra kernels on an `rMatGraph_WJ_5_100` input. The
+//! synthetic stand-in builds a small power-law (rMat-flavoured) graph and
+//! replays the memory behaviour of frontier-based kernels: sequential sweeps
+//! over the offset/edge arrays (streaming) interleaved with irregular,
+//! partially recurring accesses to per-vertex data (temporal/pointer-chase
+//! flavoured), which is exactly the mix that stresses prefetcher selection.
+
+use alecto_types::{Addr, MemoryRecord, Pc, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Ligra kernels modelled.
+pub const BENCHMARKS: [&str; 5] = ["BFS", "PageRank", "Components", "BC", "Radii"];
+
+/// Number of vertices in the synthetic rMat-like graph.
+const VERTICES: usize = 16_384;
+/// Average degree (the paper's rMat input uses degree ≈ 5).
+const AVG_DEGREE: usize = 5;
+
+fn rmat_edges(seed: u64) -> Vec<u32> {
+    // Power-law-ish edge targets: repeatedly halve the vertex range with a
+    // biased coin, the core idea of rMat generation.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(VERTICES * AVG_DEGREE);
+    for _ in 0..VERTICES * AVG_DEGREE {
+        let mut lo = 0u32;
+        let mut hi = VERTICES as u32;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if rng.gen_bool(0.65) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        edges.push(lo);
+    }
+    edges
+}
+
+/// Generates the named Ligra-like workload with `accesses` memory accesses.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`BENCHMARKS`].
+#[must_use]
+pub fn workload(name: &str, accesses: usize) -> Workload {
+    assert!(BENCHMARKS.contains(&name), "unknown Ligra kernel: {name}");
+    let seed = name.bytes().fold(0x9e37_79b9u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+    let edges = rmat_edges(seed);
+
+    // Address map: offsets array, edges array, and per-vertex data array live
+    // in separate regions so their PCs see distinct patterns.
+    let offsets_base: u64 = 0x10_0000_0000;
+    let edges_base: u64 = 0x11_0000_0000;
+    let vertex_base: u64 = 0x12_0000_0000;
+    let pc_offsets = Pc::new(0x7_0000);
+    let pc_edges = Pc::new(0x7_0010);
+    let pc_vertex = Pc::new(0x7_0020);
+    let pc_frontier = Pc::new(0x7_0030);
+
+    // Kernel-dependent cost per edge (PageRank does more FP work per edge,
+    // BFS almost none) and how often the frontier array is touched.
+    let (gap, frontier_ratio) = match name {
+        "BFS" => (4, 0.25),
+        "PageRank" => (14, 0.05),
+        "Components" => (6, 0.2),
+        "BC" => (10, 0.15),
+        "Radii" => (8, 0.2),
+        _ => unreachable!(),
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    let mut records = Vec::with_capacity(accesses);
+    let mut edge_cursor = 0usize;
+    let mut vertex_cursor = 0usize;
+    while records.len() < accesses {
+        // Sweep the CSR offsets array for the current vertex (streaming).
+        records.push(MemoryRecord::load(
+            pc_offsets,
+            Addr::new(offsets_base + (vertex_cursor as u64) * 8),
+            gap,
+        ));
+        vertex_cursor = (vertex_cursor + 1) % VERTICES;
+        // Visit this vertex's edges: stream through the edge array while
+        // making an irregular access to each neighbour's vertex data.
+        for _ in 0..AVG_DEGREE {
+            if records.len() >= accesses {
+                break;
+            }
+            let target = edges[edge_cursor % edges.len()];
+            edge_cursor += 1;
+            records.push(MemoryRecord::load(
+                pc_edges,
+                Addr::new(edges_base + (edge_cursor as u64) * 4),
+                gap,
+            ));
+            if records.len() >= accesses {
+                break;
+            }
+            records.push(MemoryRecord::load(
+                pc_vertex,
+                Addr::new(vertex_base + u64::from(target) * 64),
+                gap,
+            ));
+            if records.len() < accesses && rng.gen_bool(frontier_ratio) {
+                records.push(MemoryRecord::store(
+                    pc_frontier,
+                    Addr::new(vertex_base + u64::from(target) * 64 + 32),
+                    1,
+                ));
+            }
+        }
+    }
+    records.truncate(accesses);
+    Workload::new(name, records, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_kernels_generate() {
+        for name in BENCHMARKS {
+            let w = workload(name, 400);
+            assert_eq!(w.memory_accesses(), 400);
+            assert!(w.memory_intensive);
+        }
+    }
+
+    #[test]
+    fn mixes_streaming_and_irregular_pcs() {
+        let w = workload("BFS", 3_000);
+        let pcs: HashSet<u64> = w.records.iter().map(|r| r.pc.raw()).collect();
+        assert!(pcs.len() >= 3, "BFS should exercise several distinct PCs");
+        // The edges PC is a pure stream: consecutive accesses differ by 4 bytes.
+        let edge_addrs: Vec<u64> =
+            w.records.iter().filter(|r| r.pc.raw() == 0x7_0010).map(|r| r.addr.raw()).collect();
+        assert!(edge_addrs.windows(2).all(|w| w[1] - w[0] == 4));
+        // The vertex PC is irregular but recurring (power-law reuse).
+        let vertex_addrs: Vec<u64> =
+            w.records.iter().filter(|r| r.pc.raw() == 0x7_0020).map(|r| r.addr.raw()).collect();
+        let distinct: HashSet<u64> = vertex_addrs.iter().copied().collect();
+        assert!(distinct.len() > 50);
+        assert!(distinct.len() < vertex_addrs.len(), "hub vertices must recur");
+    }
+
+    #[test]
+    fn kernels_differ_in_compute_intensity() {
+        let bfs = workload("BFS", 2_000);
+        let pr = workload("PageRank", 2_000);
+        assert!(pr.instructions() > bfs.instructions());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Ligra kernel")]
+    fn unknown_kernel_panics() {
+        let _ = workload("TriangleCount", 10);
+    }
+}

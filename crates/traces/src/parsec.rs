@@ -1,0 +1,106 @@
+//! PARSEC 3.0-like multi-threaded workloads (Fig. 17, eight-core runs).
+//!
+//! PARSEC regions of interest are parallel loops; for the trace-driven model
+//! each core receives its own copy of the benchmark's blend, offset into a
+//! private address-space slice, which is what [`per_core_workloads`] provides.
+
+use alecto_types::{Addr, MemoryRecord, Workload};
+
+use crate::blend::Blend;
+
+/// The PARSEC benchmarks used in the multi-core evaluation.
+pub const BENCHMARKS: [&str; 9] = [
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "fluidanimate",
+    "freqmine",
+    "streamcluster",
+    "swaptions",
+    "vips",
+];
+
+/// Builds the blend describing `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is not in [`BENCHMARKS`].
+#[must_use]
+pub fn blend(name: &str) -> Blend {
+    assert!(BENCHMARKS.contains(&name), "unknown PARSEC benchmark: {name}");
+    let b = Blend::builder(name);
+    match name {
+        "blackscholes" => b.stream(0.5).resident(0.5).gap(24).finish(),
+        "bodytrack" => b.stride(0.4).resident(0.4).noise(0.2).gap(20).finish(),
+        "canneal" => b.memory_intensive().chase(0.55).noise(0.35).resident(0.1).gap(8).chase_nodes(30_000).finish(),
+        "dedup" => b.memory_intensive().spatial(0.35).noise(0.4).stride(0.25).gap(12).finish(),
+        "fluidanimate" => b.memory_intensive().stream(0.45).spatial(0.35).resident(0.2).gap(12).finish(),
+        "freqmine" => b.chase(0.35).resident(0.4).noise(0.25).gap(18).chase_nodes(10_000).finish(),
+        "streamcluster" => b.memory_intensive().stream(0.75).noise(0.15).resident(0.1).gap(7).finish(),
+        "swaptions" => b.resident(0.8).stride(0.2).gap(45).finish(),
+        "vips" => b.stream(0.5).stride(0.3).resident(0.2).gap(16).finish(),
+        _ => unreachable!("benchmark {name} is listed but has no blend"),
+    }
+}
+
+/// Generates one thread's worth of the named PARSEC-like workload.
+///
+/// # Panics
+///
+/// Panics if `name` is unknown.
+#[must_use]
+pub fn workload(name: &str, accesses: usize) -> Workload {
+    blend(name).build(accesses)
+}
+
+/// Generates `cores` per-thread workloads, each shifted into a disjoint slice
+/// of the address space (threads share code but mostly work on private data
+/// partitions in these benchmarks' regions of interest).
+#[must_use]
+pub fn per_core_workloads(name: &str, accesses: usize, cores: usize) -> Vec<Workload> {
+    let base = workload(name, accesses);
+    (0..cores)
+        .map(|core| {
+            let offset = (core as u64) << 38;
+            let records: Vec<MemoryRecord> = base
+                .records
+                .iter()
+                .map(|r| MemoryRecord {
+                    addr: Addr::new(r.addr.raw() + offset),
+                    ..*r
+                })
+                .collect();
+            Workload::new(format!("{name}#t{core}"), records, base.memory_intensive)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_blends() {
+        for name in BENCHMARKS {
+            let w = workload(name, 100);
+            assert_eq!(w.memory_accesses(), 100);
+        }
+    }
+
+    #[test]
+    fn per_core_workloads_are_disjoint() {
+        let per_core = per_core_workloads("canneal", 200, 4);
+        assert_eq!(per_core.len(), 4);
+        let a_max = per_core[0].records.iter().map(|r| r.addr.raw()).max().unwrap();
+        let b_min = per_core[1].records.iter().map(|r| r.addr.raw()).min().unwrap();
+        assert!(b_min > a_max, "core address slices must not overlap");
+        assert!(per_core[0].memory_intensive);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown PARSEC benchmark")]
+    fn unknown_name_panics() {
+        let _ = workload("raytrace", 10);
+    }
+}

@@ -1,0 +1,263 @@
+//! Access-pattern primitives: the building blocks benchmarks are blended from.
+//!
+//! Every generator produces an *unbounded-ish* stream of [`MemoryRecord`]s for
+//! one or a few PCs; the [`interleave_weighted`] combinator merges several
+//! such component streams into one trace with a given mixing ratio, which is
+//! how whole benchmarks are assembled in [`crate::blend`].
+
+use alecto_types::{AccessKind, Addr, MemoryRecord, Pc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A lazily generated component stream of memory accesses.
+pub type Component = Box<dyn FnMut() -> MemoryRecord>;
+
+/// A forward (or backward) unit-stride stream over cache lines, the pattern
+/// GS-style stream prefetchers are built for (`lbm`, `libquantum`, ...).
+#[must_use]
+pub fn stream(pc: u64, base: u64, gap: u32, ascending: bool) -> Component {
+    let mut line: i64 = (base >> 6) as i64;
+    Box::new(move || {
+        let record = MemoryRecord::load(Pc::new(pc), Addr::new((line as u64) << 6), gap);
+        line += if ascending { 1 } else { -1 };
+        record
+    })
+}
+
+/// A constant-stride walk (stride expressed in bytes), the CS pattern
+/// (`hmmer`, column walks of dense matrices, ...).
+#[must_use]
+pub fn strided(pc: u64, base: u64, stride_bytes: i64, gap: u32) -> Component {
+    let mut addr = base as i64;
+    Box::new(move || {
+        let record = MemoryRecord::load(Pc::new(pc), Addr::new(addr as u64), gap);
+        addr += stride_bytes;
+        record
+    })
+}
+
+/// A repeating delta chain in cache lines (e.g. +1, +1, +1, +4), the pattern
+/// CPLX targets and constant-stride prefetchers mispredict (§II-A).
+#[must_use]
+pub fn delta_chain(pc: u64, base: u64, deltas: Vec<i64>, gap: u32) -> Component {
+    assert!(!deltas.is_empty(), "delta chain needs at least one delta");
+    let mut line: i64 = (base >> 6) as i64;
+    let mut idx = 0usize;
+    Box::new(move || {
+        let record = MemoryRecord::load(Pc::new(pc), Addr::new((line as u64) << 6), gap);
+        line += deltas[idx % deltas.len()];
+        idx += 1;
+        record
+    })
+}
+
+/// Per-page spatial footprints: each visited page is touched at the given
+/// line offsets (the SMS/PMP pattern; `GemsFDTD`'s PC 0x30b00 in Fig. 2).
+#[must_use]
+pub fn spatial_pages(pc: u64, base_page: u64, offsets: Vec<u64>, gap: u32) -> Component {
+    assert!(!offsets.is_empty(), "spatial pattern needs at least one offset");
+    let mut page = base_page;
+    let mut idx = 0usize;
+    Box::new(move || {
+        let offset = offsets[idx % offsets.len()];
+        let addr = (page << 12) + (offset << 6);
+        let record = MemoryRecord::load(Pc::new(pc), Addr::new(addr), gap);
+        idx += 1;
+        if idx % offsets.len() == 0 {
+            page += 1;
+        }
+        record
+    })
+}
+
+/// A recurring pointer chase over `nodes` pseudo-randomly placed nodes — the
+/// temporal pattern only an address-correlating prefetcher can cover
+/// (`mcf`, `omnetpp`, graph workloads).
+#[must_use]
+pub fn pointer_chase(pc: u64, base: u64, nodes: usize, gap: u32, seed: u64) -> Component {
+    assert!(nodes > 1, "a pointer chase needs at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A random cyclic permutation of node indices placed at random lines.
+    let mut order: Vec<usize> = (0..nodes).collect();
+    for i in (1..nodes).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let lines: Vec<u64> = (0..nodes).map(|_| (base >> 6) + rng.gen_range(0..nodes as u64 * 23)).collect();
+    let mut pos = 0usize;
+    Box::new(move || {
+        let line = lines[order[pos]];
+        pos = (pos + 1) % order.len();
+        // Each hop reads the pointer loaded by the previous hop.
+        MemoryRecord::dependent_load(Pc::new(pc), Addr::new(line << 6), gap)
+    })
+}
+
+/// A bounded stream that wraps around after `length_lines` lines, i.e. a loop
+/// re-walking the same array every iteration. The pattern is *recurring* (a
+/// temporal prefetcher's table hits on it) yet perfectly handled by stream and
+/// stride prefetchers — exactly the kind of PC §IV-F argues should be kept
+/// away from the temporal prefetcher's metadata.
+#[must_use]
+pub fn looping_stream(pc: u64, base: u64, length_lines: u64, gap: u32) -> Component {
+    assert!(length_lines > 1, "a looping stream needs at least two lines");
+    let base_line = base >> 6;
+    let mut idx: u64 = 0;
+    Box::new(move || {
+        let line = base_line + (idx % length_lines);
+        idx += 1;
+        MemoryRecord::load(Pc::new(pc), Addr::new(line << 6), gap)
+    })
+}
+
+/// Uniformly random accesses over a `span_bytes` region: unpredictable noise
+/// that trains no prefetcher usefully and pollutes their tables.
+#[must_use]
+pub fn random_noise(pc: u64, base: u64, span_bytes: u64, gap: u32, seed: u64) -> Component {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span_lines = (span_bytes >> 6).max(1);
+    Box::new(move || {
+        let line = (base >> 6) + rng.gen_range(0..span_lines);
+        let kind = if rng.gen_bool(0.3) { AccessKind::Store } else { AccessKind::Load };
+        MemoryRecord { pc: Pc::new(pc), addr: Addr::new(line << 6), kind, gap_instructions: gap, dependent: false }
+    })
+}
+
+/// Interleaves component streams according to `weights`, producing exactly
+/// `total` records. Component `i` is chosen with probability proportional to
+/// `weights[i]`; selection is deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, mismatched in length, or all-zero weight.
+#[must_use]
+pub fn interleave_weighted(
+    mut components: Vec<Component>,
+    weights: &[f64],
+    total: usize,
+    seed: u64,
+) -> Vec<MemoryRecord> {
+    assert!(!components.is_empty(), "need at least one component");
+    assert_eq!(components.len(), weights.len(), "one weight per component");
+    let weight_sum: f64 = weights.iter().sum();
+    assert!(weight_sum > 0.0, "weights must not all be zero");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut pick = rng.gen::<f64>() * weight_sum;
+        let mut idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+            idx = i;
+        }
+        out.push(components[idx]());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stream_is_unit_stride() {
+        let mut s = stream(0x10, 0x8000, 5, true);
+        let a = s();
+        let b = s();
+        assert_eq!(b.addr.line().delta_from(a.addr.line()), 1);
+        assert_eq!(a.gap_instructions, 5);
+        let mut d = stream(0x10, 0x8000, 5, false);
+        let a = d();
+        let b = d();
+        assert_eq!(b.addr.line().delta_from(a.addr.line()), -1);
+    }
+
+    #[test]
+    fn strided_walk() {
+        let mut s = strided(0x14, 0x10_000, 256, 3);
+        let a = s();
+        let b = s();
+        assert_eq!(b.addr.raw() - a.addr.raw(), 256);
+    }
+
+    #[test]
+    fn delta_chain_repeats() {
+        let mut s = delta_chain(0x18, 0x20_000, vec![1, 1, 4], 2);
+        let lines: Vec<i64> = (0..7).map(|_| s().addr.line().raw() as i64).collect();
+        assert_eq!(lines[1] - lines[0], 1);
+        assert_eq!(lines[2] - lines[1], 1);
+        assert_eq!(lines[3] - lines[2], 4);
+        assert_eq!(lines[4] - lines[3], 1);
+    }
+
+    #[test]
+    fn spatial_pattern_repeats_per_page() {
+        let mut s = spatial_pages(0x1c, 100, vec![0, 2, 4], 2);
+        let first_page: Vec<u64> = (0..3).map(|_| s().addr.raw()).collect();
+        let second_page: Vec<u64> = (0..3).map(|_| s().addr.raw()).collect();
+        assert_eq!(first_page[1] - first_page[0], 128);
+        assert_eq!(second_page[0] - first_page[0], 4096);
+    }
+
+    #[test]
+    fn pointer_chase_recurs() {
+        let mut s = pointer_chase(0x20, 1 << 24, 50, 2, 7);
+        let first_cycle: Vec<u64> = (0..50).map(|_| s().addr.raw()).collect();
+        let second_cycle: Vec<u64> = (0..50).map(|_| s().addr.raw()).collect();
+        assert_eq!(first_cycle, second_cycle, "the chase revisits the same sequence");
+        let distinct: HashSet<u64> = first_cycle.iter().copied().collect();
+        assert!(distinct.len() > 40, "nodes should be mostly distinct lines");
+    }
+
+    #[test]
+    fn looping_stream_wraps() {
+        let mut s = looping_stream(0x22, 0x40_000, 4, 1);
+        let lines: Vec<u64> = (0..9).map(|_| s().addr.line().raw()).collect();
+        assert_eq!(lines[0], lines[4]);
+        assert_eq!(lines[3], lines[7]);
+        assert_eq!(lines[1] - lines[0], 1);
+    }
+
+    #[test]
+    fn random_noise_spans_region() {
+        let mut s = random_noise(0x24, 1 << 30, 1 << 20, 1, 3);
+        let addrs: Vec<u64> = (0..200).map(|_| s().addr.raw()).collect();
+        let distinct: HashSet<u64> = addrs.iter().copied().collect();
+        assert!(distinct.len() > 150);
+        assert!(addrs.iter().all(|&a| a >= (1 << 30) && a < (1 << 30) + (1 << 20) + 64));
+    }
+
+    #[test]
+    fn interleave_respects_total_and_weights() {
+        let a = stream(0x1, 0, 1, true);
+        let b = stream(0x2, 1 << 30, 1, true);
+        let records = interleave_weighted(vec![a, b], &[0.9, 0.1], 2_000, 42);
+        assert_eq!(records.len(), 2_000);
+        let from_a = records.iter().filter(|r| r.pc == Pc::new(0x1)).count();
+        assert!(from_a > 1_600 && from_a < 1_950, "~90% should come from the heavy component, got {from_a}");
+    }
+
+    #[test]
+    fn interleave_is_deterministic() {
+        let mk = || {
+            interleave_weighted(
+                vec![stream(0x1, 0, 1, true), random_noise(0x2, 1 << 30, 1 << 18, 1, 9)],
+                &[0.5, 0.5],
+                500,
+                7,
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per component")]
+    fn mismatched_weights_panic() {
+        let _ = interleave_weighted(vec![stream(0x1, 0, 1, true)], &[0.5, 0.5], 10, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Folded-XOR PC hashing, as used by the Sandbox Table.
+//!
+//! §IV-C: "Alecto utilizes common hash functions found in Branch Prediction
+//! Unit designs. This approach involves dividing the PC address into n
+//! segments and applying an XOR operation across these segments to generate a
+//! final, compacted hash value... By setting n to correspond with the
+//! logarithm of the table's entry count, Alecto significantly decreases the
+//! storage overhead."
+
+use crate::addr::Pc;
+
+/// Folds a PC into `bits` bits by XOR-ing successive `bits`-wide segments.
+///
+/// ```
+/// # use alecto_types::{fold_pc, Pc};
+/// let h = fold_pc(Pc::new(0x1234_5678_9abc_def0), 9);
+/// assert!(h < (1 << 9));
+/// // Folding is deterministic.
+/// assert_eq!(h, fold_pc(Pc::new(0x1234_5678_9abc_def0), 9));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 32.
+#[must_use]
+pub fn fold_pc(pc: Pc, bits: u32) -> u32 {
+    assert!(bits > 0 && bits <= 32, "fold width must be 1..=32 bits");
+    let mask: u64 = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut value = pc.raw();
+    let mut folded: u64 = 0;
+    while value != 0 {
+        folded ^= value & mask;
+        value >>= bits;
+    }
+    (folded & mask) as u32
+}
+
+/// A reusable folded-XOR hasher with a fixed output width, convenient when a
+/// table stores many hashed PC tags of the same width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldedPcHasher {
+    bits: u32,
+}
+
+impl FoldedPcHasher {
+    /// Creates a hasher producing `bits`-wide hashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 32.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0 && bits <= 32, "fold width must be 1..=32 bits");
+        Self { bits }
+    }
+
+    /// Output width in bits.
+    #[must_use]
+    pub const fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Hashes a PC.
+    #[must_use]
+    pub fn hash(&self, pc: Pc) -> u32 {
+        fold_pc(pc, self.bits)
+    }
+}
+
+/// A simple multiplicative hash used for cache set indexing of line addresses.
+/// Not part of the paper's proposal; used internally by table index functions
+/// to avoid pathological aliasing in synthetic traces.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    // SplitMix64 finalizer.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_stays_in_range() {
+        for bits in 1..=20u32 {
+            for raw in [0u64, 1, 0xdead_beef, u64::MAX, 0x0040_0a30_b00f_f123] {
+                let h = fold_pc(Pc::new(raw), bits);
+                assert!(u64::from(h) < (1u64 << bits), "hash {h} out of range for {bits} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_zero_is_zero() {
+        assert_eq!(fold_pc(Pc::new(0), 9), 0);
+    }
+
+    #[test]
+    fn fold_differs_for_nearby_pcs_often() {
+        // Not a strict requirement, but the folding of distinct low bits must
+        // differ when the rest of the PC is identical.
+        let a = fold_pc(Pc::new(0x30b00), 9);
+        let b = fold_pc(Pc::new(0x30aca), 9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hasher_matches_free_function() {
+        let h = FoldedPcHasher::new(9);
+        assert_eq!(h.bits(), 9);
+        assert_eq!(h.hash(Pc::new(0x1234_5678)), fold_pc(Pc::new(0x1234_5678), 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "fold width")]
+    fn zero_width_panics() {
+        let _ = fold_pc(Pc::new(1), 0);
+    }
+
+    #[test]
+    fn mix64_spreads_small_inputs() {
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+}

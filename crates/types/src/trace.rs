@@ -1,0 +1,125 @@
+//! Trace records: the interface between the workload generators (`traces`
+//! crate) and the core timing model (`cpu` crate).
+//!
+//! The simulator is trace driven: a workload is a sequence of memory access
+//! records, each annotated with the number of non-memory instructions the
+//! core executed since the previous memory access. This is the same
+//! information a gem5 simpoint checkpoint provides to an execution-driven
+//! run, collapsed to what the memory hierarchy and prefetchers can observe.
+
+use crate::addr::{Addr, Pc};
+use crate::request::{AccessKind, DemandAccess};
+
+/// One memory access in a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRecord {
+    /// PC of the memory access instruction.
+    pub pc: Pc,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Number of non-memory instructions executed since the previous record.
+    pub gap_instructions: u32,
+    /// `true` when this access is data-dependent on the previous access made
+    /// by the *same PC* (pointer chasing): it cannot issue until that access
+    /// completes. Independent accesses overlap freely inside the ROB window.
+    pub dependent: bool,
+}
+
+impl MemoryRecord {
+    /// Creates an (independent) load record.
+    #[must_use]
+    pub const fn load(pc: Pc, addr: Addr, gap_instructions: u32) -> Self {
+        Self { pc, addr, kind: AccessKind::Load, gap_instructions, dependent: false }
+    }
+
+    /// Creates a load record that is serially dependent on the previous access
+    /// of the same PC (a pointer-chase step).
+    #[must_use]
+    pub const fn dependent_load(pc: Pc, addr: Addr, gap_instructions: u32) -> Self {
+        Self { pc, addr, kind: AccessKind::Load, gap_instructions, dependent: true }
+    }
+
+    /// Creates a store record.
+    #[must_use]
+    pub const fn store(pc: Pc, addr: Addr, gap_instructions: u32) -> Self {
+        Self { pc, addr, kind: AccessKind::Store, gap_instructions, dependent: false }
+    }
+
+    /// The demand access this record turns into when it reaches the L1D.
+    #[must_use]
+    pub const fn demand(&self) -> DemandAccess {
+        DemandAccess::new(self.pc, self.addr, self.kind)
+    }
+
+    /// Total instructions this record accounts for (the memory access itself
+    /// plus the preceding non-memory instructions).
+    #[must_use]
+    pub const fn instructions(&self) -> u64 {
+        self.gap_instructions as u64 + 1
+    }
+}
+
+/// A named workload: a benchmark-like memory trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Benchmark name (e.g. `"mcf"` or `"459.GemsFDTD"`).
+    pub name: String,
+    /// The memory access trace.
+    pub records: Vec<MemoryRecord>,
+    /// Whether the paper counts this benchmark as memory intensive (drives the
+    /// separate geomean of Figs. 8/9 and the Fig. 19/20 benchmark set).
+    pub memory_intensive: bool,
+}
+
+impl Workload {
+    /// Creates a workload.
+    #[must_use]
+    pub fn new(name: impl Into<String>, records: Vec<MemoryRecord>, memory_intensive: bool) -> Self {
+        Self { name: name.into(), records, memory_intensive }
+    }
+
+    /// Total instruction count represented by the trace.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.records.iter().map(MemoryRecord::instructions).sum()
+    }
+
+    /// Number of memory accesses in the trace.
+    #[must_use]
+    pub fn memory_accesses(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_helpers() {
+        let r = MemoryRecord::load(Pc::new(0x40), Addr::new(0x1000), 9);
+        assert_eq!(r.instructions(), 10);
+        assert!(r.demand().kind.is_load());
+        let s = MemoryRecord::store(Pc::new(0x44), Addr::new(0x2000), 0);
+        assert_eq!(s.instructions(), 1);
+        assert!(!s.demand().kind.is_load());
+    }
+
+    #[test]
+    fn workload_totals() {
+        let w = Workload::new(
+            "toy",
+            vec![
+                MemoryRecord::load(Pc::new(1), Addr::new(64), 4),
+                MemoryRecord::store(Pc::new(2), Addr::new(128), 5),
+            ],
+            true,
+        );
+        assert_eq!(w.instructions(), 11);
+        assert_eq!(w.memory_accesses(), 2);
+        assert!(w.memory_intensive);
+        assert_eq!(w.name, "toy");
+    }
+}

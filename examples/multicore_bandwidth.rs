@@ -1,0 +1,51 @@
+//! Eight-core contention study (Figs. 16/17): run a memory-intensive mix on
+//! an eight-core system under two DRAM generations and compare how the
+//! selection algorithms behave when bandwidth is scarce versus plentiful.
+
+use alecto_repro::prelude::*;
+use alecto_repro::types::Workload;
+use memsys::DramKind;
+
+fn mix(accesses: usize) -> Vec<Workload> {
+    traces::spec06::memory_intensive()
+        .iter()
+        .take(8)
+        .enumerate()
+        .map(|(core, name)| {
+            let mut w = traces::spec06::workload(name, accesses);
+            // Give each core a private address-space slice (SPEC-rate style).
+            for r in &mut w.records {
+                r.addr = alecto_repro::types::Addr::new(r.addr.raw() + ((core as u64) << 40));
+            }
+            w
+        })
+        .collect()
+}
+
+fn main() {
+    let accesses: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5_000);
+    let workloads = mix(accesses);
+    println!("8-core heterogeneous SPEC06-like mix, {accesses} accesses per core\n");
+
+    for (label, kind) in [("DDR3-1600", DramKind::Ddr3_1600), ("DDR4-2400", DramKind::Ddr4_2400)] {
+        println!("--- {label} ---");
+        let config = SystemConfig::with_dram(8, kind);
+        let mut baseline = cpu::System::new(config.clone(), SelectionAlgorithm::NoPrefetching, CompositeKind::GsCsPmp);
+        let base = baseline.run(&workloads);
+        let base_ipc = base.geomean_ipc().unwrap_or(1e-9);
+        println!("{:12} geomean IPC {:.3}", "NoPrefetch", base_ipc);
+        for algorithm in SelectionAlgorithm::main_comparison() {
+            let mut system = cpu::System::new(config.clone(), algorithm, CompositeKind::GsCsPmp);
+            let report = system.run(&workloads);
+            let ipc = report.geomean_ipc().unwrap_or(0.0);
+            println!(
+                "{:12} geomean IPC {:.3}  speedup {:.3}  DRAM row-hit rate {:.2}",
+                algorithm.label(),
+                ipc,
+                ipc / base_ipc,
+                report.dram.row_hits as f64 / report.dram.accesses.max(1) as f64,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate one benchmark under the five prefetcher-selection
+//! algorithms of the paper and print their speedups over no prefetching.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [accesses]
+//! ```
+
+use alecto_repro::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmark = args.first().map_or("GemsFDTD", String::as_str);
+    let accesses: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+
+    println!("benchmark: {benchmark} ({accesses} memory accesses)");
+    let workload = traces::spec06::workload(benchmark, accesses);
+
+    // Baseline: prefetching disabled.
+    let baseline = cpu::run_single_core(
+        SystemConfig::skylake_like(1),
+        SelectionAlgorithm::NoPrefetching,
+        CompositeKind::GsCsPmp,
+        &workload,
+    );
+    let base_ipc = baseline.cores[0].ipc;
+    println!("no prefetching: IPC {base_ipc:.3}");
+
+    for algorithm in SelectionAlgorithm::main_comparison() {
+        let report = cpu::run_single_core(
+            SystemConfig::skylake_like(1),
+            algorithm,
+            CompositeKind::GsCsPmp,
+            &workload,
+        );
+        let core = &report.cores[0];
+        println!(
+            "{:8}  IPC {:.3}  speedup {:.3}  accuracy {:.2}  coverage {:.2}  table misses {}",
+            algorithm.label(),
+            core.ipc,
+            core.ipc / base_ipc,
+            core.quality.accuracy(),
+            core.quality.coverage(),
+            core.table_misses,
+        );
+    }
+}

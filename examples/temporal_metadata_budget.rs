@@ -1,0 +1,40 @@
+//! The temporal-prefetching study of §VI-D / Fig. 14: how much metadata does a
+//! temporal prefetcher need when its training stream is managed by Bandit
+//! (no demand-request filtering) versus Alecto (dynamic demand request
+//! allocation)?
+//!
+//! The example runs a pointer-chasing benchmark with an added temporal
+//! prefetcher at several metadata budgets and prints the speedup each policy
+//! obtains over the plain L1 composite.
+
+use alecto_repro::prelude::*;
+
+fn run(algorithm: SelectionAlgorithm, composite: CompositeKind, workload: &alecto_repro::types::Workload) -> f64 {
+    cpu::run_single_core(SystemConfig::skylake_like(1), algorithm, composite, workload).cores[0].ipc
+}
+
+fn main() {
+    let accesses: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40_000);
+    let workload = traces::spec06::workload("mcf", accesses);
+    println!("workload: mcf-like pointer chase, {accesses} accesses\n");
+
+    // Reference: each policy scheduling only the L1 composite.
+    let bandit_base = run(SelectionAlgorithm::Bandit6, CompositeKind::GsCsPmp, &workload);
+    let alecto_base = run(SelectionAlgorithm::Alecto, CompositeKind::GsCsPmp, &workload);
+
+    println!("{:>12}  {:>18}  {:>18}", "metadata", "Bandit6 speedup", "Alecto speedup");
+    for kb in [128u64, 256, 512, 1024] {
+        let composite = CompositeKind::GsCsPmpTemporal { metadata_bytes: kb * 1024 };
+        let bandit = run(SelectionAlgorithm::Bandit6, composite, &workload) / bandit_base;
+        let alecto = run(SelectionAlgorithm::Alecto, composite, &workload) / alecto_base;
+        println!("{:>10}KB  {:>18.3}  {:>18.3}", kb, bandit, alecto);
+    }
+    println!(
+        "\nThe paper's Fig. 14 finding: with DDRA the temporal prefetcher reaches its\n\
+         full benefit with a fraction of the metadata, because non-temporal PCs never\n\
+         pollute the correlation table."
+    );
+}

@@ -1,0 +1,42 @@
+//! # Alecto reproduction — umbrella crate
+//!
+//! This crate re-exports the whole workspace so that the root-level
+//! `examples/` and `tests/` directories can exercise the full public API in
+//! one place. Downstream users typically depend on the individual member
+//! crates instead:
+//!
+//! * [`alecto`] — the paper's contribution: the Allocation/Sample/Sandbox
+//!   tables and the [`alecto::AlectoSelector`] implementing dynamic demand
+//!   request allocation.
+//! * [`prefetch`] — the six hardware prefetchers being scheduled.
+//! * [`selectors`] — the baseline selection algorithms (IPCP, DOL, Bandit,
+//!   PPF) the paper compares against.
+//! * [`memsys`] / [`cpu`] — the cache/DRAM/core simulator substrate.
+//! * [`traces`] — synthetic SPEC/PARSEC/Ligra-like workload generators.
+//! * [`harness`] — the experiment runner that regenerates every figure and
+//!   table of the paper's evaluation.
+//!
+//! ```
+//! use alecto_repro::prelude::*;
+//!
+//! let workload = traces::spec06::workload("lbm", 50_000);
+//! let config = cpu::SystemConfig::skylake_like(1);
+//! let mut sim = cpu::System::new(config, SelectionAlgorithm::Alecto, CompositeKind::GsCsPmp);
+//! let report = sim.run(&[workload]);
+//! assert!(report.cores[0].ipc > 0.0);
+//! ```
+
+pub use alecto;
+pub use alecto_types as types;
+pub use cpu;
+pub use harness;
+pub use memsys;
+pub use prefetch;
+pub use selectors;
+pub use traces;
+
+/// Convenience re-exports used by the examples and integration tests.
+pub mod prelude {
+    pub use crate::{alecto, cpu, harness, memsys, prefetch, selectors, traces, types};
+    pub use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
+}
