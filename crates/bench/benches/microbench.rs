@@ -3,8 +3,8 @@
 //! benches for the design choices called out in DESIGN.md (cost of DDRA per
 //! demand access, cost of the simulator substrate per simulated access).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use memsys::{Hierarchy, HierarchyParams};
 use prefetch::build_composite;
 

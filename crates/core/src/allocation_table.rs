@@ -93,7 +93,8 @@ impl AllocationTable {
     /// Returns the states of `pc` without allocating, if present.
     #[must_use]
     pub fn get(&self, pc: Pc) -> Option<&[PrefetcherState]> {
-        self.find(pc).map(|i| self.entries[i].as_ref().expect("found index is occupied").states.as_slice())
+        self.find(pc)
+            .map(|i| self.entries[i].as_ref().expect("found index is occupied").states.as_slice())
     }
 
     /// Resets every prefetcher of `pc` back to UI (the dead-counter recovery
@@ -135,8 +136,7 @@ impl AllocationTable {
                 matches!(s, PrefetcherState::Unidentified) && acc.map(|a| a >= pb).unwrap_or(false)
             })
             .collect();
-        let non_temporal_promotable =
-            promotable.iter().zip(is_temporal).any(|(&p, &t)| p && !t);
+        let non_temporal_promotable = promotable.iter().zip(is_temporal).any(|(&p, &t)| p && !t);
         let any_promotable = promotable.iter().any(|&p| p);
 
         let mut new_states: Vec<PrefetcherState> = entry
@@ -203,12 +203,8 @@ mod tests {
     fn temporal_prefetcher_loses_ties_to_non_temporal() {
         let mut t = AllocationTable::new(64, 2);
         t.lookup_or_insert(Pc::new(0x44));
-        let states = t.epoch_transition(
-            Pc::new(0x44),
-            &[Some(0.9), Some(0.95)],
-            &[false, true],
-            &cfg(),
-        );
+        let states =
+            t.epoch_transition(Pc::new(0x44), &[Some(0.9), Some(0.95)], &[false, true], &cfg());
         assert_eq!(states[0], PrefetcherState::Aggressive(0));
         assert_eq!(states[1], PrefetcherState::Blocked(0), "temporal prefetcher should be demoted");
     }
@@ -217,12 +213,8 @@ mod tests {
     fn temporal_prefetcher_promotes_when_alone() {
         let mut t = AllocationTable::new(64, 2);
         t.lookup_or_insert(Pc::new(0x48));
-        let states = t.epoch_transition(
-            Pc::new(0x48),
-            &[Some(0.2), Some(0.95)],
-            &[false, true],
-            &cfg(),
-        );
+        let states =
+            t.epoch_transition(Pc::new(0x48), &[Some(0.2), Some(0.95)], &[false, true], &cfg());
         assert_eq!(states[1], PrefetcherState::Aggressive(0));
     }
 
@@ -256,7 +248,11 @@ mod tests {
         }
         let s = t.get(Pc::new(0x50)).unwrap();
         assert!(s[0].is_aggressive());
-        assert_eq!(s[1], PrefetcherState::Blocked(0), "IB_0 is held while another prefetcher is IA");
+        assert_eq!(
+            s[1],
+            PrefetcherState::Blocked(0),
+            "IB_0 is held while another prefetcher is IA"
+        );
     }
 
     #[test]
@@ -296,6 +292,9 @@ mod tests {
         for _ in 0..8 {
             t.epoch_transition(Pc::new(0x58), &[Some(0.95)], &[false], &cfg);
         }
-        assert_eq!(t.get(Pc::new(0x58)).unwrap()[0], PrefetcherState::Aggressive(cfg.max_aggressive));
+        assert_eq!(
+            t.get(Pc::new(0x58)).unwrap()[0],
+            PrefetcherState::Aggressive(cfg.max_aggressive)
+        );
     }
 }

@@ -80,10 +80,7 @@ impl AlectoConfig {
                 && (0.0..=1.0).contains(&self.deficiency_boundary),
             "accuracy boundaries must lie in [0, 1]"
         );
-        assert!(
-            self.proficiency_boundary > self.deficiency_boundary,
-            "PB must exceed DB"
-        );
+        assert!(self.proficiency_boundary > self.deficiency_boundary, "PB must exceed DB");
         assert!(self.epoch_demands > 0, "epoch length must be non-zero");
         assert!(
             self.allocation_entries > 0 && self.sample_entries > 0 && self.sandbox_entries > 0,

@@ -243,7 +243,13 @@ mod tests {
     /// Runs one epoch of demand accesses for `pc` where prefetcher `good`
     /// always issues prefetches that are later confirmed and prefetcher `bad`
     /// issues prefetches that never are.
-    fn run_epoch(alecto: &mut AlectoSelector, prefetchers: &[Box<dyn Prefetcher>], pc: u64, good: usize, bad: usize) {
+    fn run_epoch(
+        alecto: &mut AlectoSelector,
+        prefetchers: &[Box<dyn Prefetcher>],
+        pc: u64,
+        good: usize,
+        bad: usize,
+    ) {
         let epoch = alecto.config().epoch_demands;
         for i in 0..epoch as u64 {
             let a = access(pc, 1_000 + i);

@@ -14,9 +14,10 @@
 use crate::config::AlectoConfig;
 
 /// The state of one prefetcher for one memory-access instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum PrefetcherState {
     /// Un-Identified: suitability not yet determined.
+    #[default]
     Unidentified,
     /// Identified and Aggressive with sub-state `m` (0..=M).
     Aggressive(u32),
@@ -42,12 +43,6 @@ impl PrefetcherState {
     #[must_use]
     pub const fn is_blocked(&self) -> bool {
         matches!(self, PrefetcherState::Blocked(_))
-    }
-}
-
-impl Default for PrefetcherState {
-    fn default() -> Self {
-        PrefetcherState::Unidentified
     }
 }
 
@@ -157,14 +152,28 @@ mod tests {
 
     #[test]
     fn ui_goes_to_ib0_when_someone_else_promotes() {
-        let i = StateTransitionInput { accuracy: Some(0.4), another_promoted: true, temporal_demotion: false };
-        assert_eq!(transition(PrefetcherState::Unidentified, i, &cfg()), PrefetcherState::Blocked(0));
+        let i = StateTransitionInput {
+            accuracy: Some(0.4),
+            another_promoted: true,
+            temporal_demotion: false,
+        };
+        assert_eq!(
+            transition(PrefetcherState::Unidentified, i, &cfg()),
+            PrefetcherState::Blocked(0)
+        );
     }
 
     #[test]
     fn temporal_exception_demotes_despite_high_accuracy() {
-        let i = StateTransitionInput { accuracy: Some(0.95), another_promoted: true, temporal_demotion: true };
-        assert_eq!(transition(PrefetcherState::Unidentified, i, &cfg()), PrefetcherState::Blocked(0));
+        let i = StateTransitionInput {
+            accuracy: Some(0.95),
+            another_promoted: true,
+            temporal_demotion: true,
+        };
+        assert_eq!(
+            transition(PrefetcherState::Unidentified, i, &cfg()),
+            PrefetcherState::Blocked(0)
+        );
     }
 
     #[test]

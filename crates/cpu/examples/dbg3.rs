@@ -1,7 +1,12 @@
 use cpu::*;
 fn main() {
     let w = traces::spec06::workload("libquantum", 12_000);
-    for algo in [SelectionAlgorithm::NoPrefetching, SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto] {
+    for algo in [
+        SelectionAlgorithm::NoPrefetching,
+        SelectionAlgorithm::Ipcp,
+        SelectionAlgorithm::Bandit6,
+        SelectionAlgorithm::Alecto,
+    ] {
         let r = run_single_core(SystemConfig::skylake_like(1), algo, CompositeKind::GsCsPmp, &w);
         let c = &r.cores[0];
         println!("{:12} ipc={:.3} l1hit={} l1miss={} l1merge={} l2hits={} cov_t={} cov_u={} uncov={} over={} pf={} dram={}",

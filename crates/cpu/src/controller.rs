@@ -125,7 +125,8 @@ impl PrefetchController {
             self.scratch.clear();
             self.prefetchers[idx].train_and_predict(access, alloc.total, &mut self.scratch);
             for (j, &line) in self.scratch.iter().enumerate() {
-                let fill = if (j as u32) < alloc.l1_portion { FillLevel::L1 } else { FillLevel::L2 };
+                let fill =
+                    if (j as u32) < alloc.l1_portion { FillLevel::L1 } else { FillLevel::L2 };
                 candidates.push(
                     PrefetchRequest::new(line, access.pc, PrefetcherId(idx)).with_fill_level(fill),
                 );
@@ -183,7 +184,8 @@ mod tests {
 
     #[test]
     fn no_prefetching_issues_nothing() {
-        let mut c = PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::NoPrefetching);
+        let mut c =
+            PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::NoPrefetching);
         for i in 0..100 {
             assert!(c.on_demand_access(&stream_access(i)).is_empty());
         }
@@ -212,7 +214,8 @@ mod tests {
     #[test]
     fn external_filter_applies_only_to_non_alecto() {
         let mut ipcp = PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::Ipcp);
-        let mut alecto = PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::Alecto);
+        let mut alecto =
+            PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::Alecto);
         for i in 0..300 {
             ipcp.on_demand_access(&stream_access(i));
             alecto.on_demand_access(&stream_access(i));
@@ -251,7 +254,8 @@ mod tests {
 
     #[test]
     fn table_stats_and_names_exposed() {
-        let mut c = PrefetchController::new(CompositeKind::GsBertiCplx, SelectionAlgorithm::Bandit3);
+        let mut c =
+            PrefetchController::new(CompositeKind::GsBertiCplx, SelectionAlgorithm::Bandit3);
         for i in 0..50 {
             c.on_demand_access(&stream_access(i));
         }
@@ -275,7 +279,8 @@ mod tests {
             line: LineAddr::new(42),
             useful: true,
         });
-        let mut none = PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::NoPrefetching);
+        let mut none =
+            PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::NoPrefetching);
         none.on_epoch(10_000, 5_000);
     }
 }

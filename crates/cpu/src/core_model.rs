@@ -147,12 +147,8 @@ impl CoreModel {
         // --- The demand access -------------------------------------------------
         let issue_cycle = issue_time.ceil() as u64;
         let demand = record.demand();
-        let result = hierarchy.demand_access_kind(
-            self.core_id,
-            demand.line(),
-            issue_cycle,
-            !is_load,
-        );
+        let result =
+            hierarchy.demand_access_kind(self.core_id, demand.line(), issue_cycle, !is_load);
         let completion = result.completion_cycle as f64;
         if record.dependent {
             self.chain_completion.insert(record.pc.raw(), completion);
@@ -211,7 +207,10 @@ impl CoreModel {
                 .controller
                 .table_stats()
                 .into_iter()
-                .map(|(name, stats)| crate::metrics::PrefetcherReport { name: name.to_string(), stats })
+                .map(|(name, stats)| crate::metrics::PrefetcherReport {
+                    name: name.to_string(),
+                    stats,
+                })
                 .collect(),
             training_occurrences: self.controller.training_occurrences(),
             table_misses: self.controller.table_misses(),
@@ -229,7 +228,9 @@ mod tests {
     use prefetch::CompositeKind;
 
     fn stream_trace(n: u64, gap: u32) -> Vec<MemoryRecord> {
-        (0..n).map(|i| MemoryRecord::load(Pc::new(0x400), Addr::new(0x100_0000 + i * 64), gap)).collect()
+        (0..n)
+            .map(|i| MemoryRecord::load(Pc::new(0x400), Addr::new(0x100_0000 + i * 64), gap))
+            .collect()
     }
 
     fn run(algo: SelectionAlgorithm, records: &[MemoryRecord]) -> CoreReport {
@@ -308,7 +309,12 @@ mod tests {
             .collect();
         let a = run(SelectionAlgorithm::NoPrefetching, &miss_heavy);
         let b = run(SelectionAlgorithm::NoPrefetching, &reuse);
-        assert!(a.ipc < b.ipc, "DRAM-bound IPC {} should be below cache-resident IPC {}", a.ipc, b.ipc);
+        assert!(
+            a.ipc < b.ipc,
+            "DRAM-bound IPC {} should be below cache-resident IPC {}",
+            a.ipc,
+            b.ipc
+        );
     }
 
     #[test]

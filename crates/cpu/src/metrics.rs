@@ -130,7 +130,12 @@ mod tests {
             ipc,
             l1: CacheStats { demand_misses: 50, demand_hits: 950, ..Default::default() },
             l2: CacheStats::default(),
-            quality: PrefetchQuality { covered_timely: 10, covered_untimely: 5, uncovered: 5, overpredicted: 2 },
+            quality: PrefetchQuality {
+                covered_timely: 10,
+                covered_untimely: 5,
+                uncovered: 5,
+                overpredicted: 2,
+            },
             prefetchers: vec![PrefetcherReport {
                 name: "GS".into(),
                 stats: TableStats { trainings, ..Default::default() },

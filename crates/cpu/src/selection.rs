@@ -93,9 +93,10 @@ pub fn build_selector(
         SelectionAlgorithm::Alecto => {
             Some(Box::new(AlectoSelector::new(AlectoConfig::default(), prefetcher_count)))
         }
-        SelectionAlgorithm::AlectoFixedDegree(degree) => {
-            Some(Box::new(AlectoSelector::new(AlectoConfig::fixed_degree(degree), prefetcher_count)))
-        }
+        SelectionAlgorithm::AlectoFixedDegree(degree) => Some(Box::new(AlectoSelector::new(
+            AlectoConfig::fixed_degree(degree),
+            prefetcher_count,
+        ))),
         SelectionAlgorithm::PpfAggressive => Some(Box::new(PpfFilterSelector::aggressive())),
         SelectionAlgorithm::PpfConservative => Some(Box::new(PpfFilterSelector::conservative())),
         SelectionAlgorithm::Triangel => Some(Box::new(TriangelFilterSelector::default_config())),

@@ -27,12 +27,14 @@ impl System {
     /// Builds a system with `config`, running `algorithm` over `composite` on
     /// every core.
     #[must_use]
-    pub fn new(config: SystemConfig, algorithm: SelectionAlgorithm, composite: CompositeKind) -> Self {
+    pub fn new(
+        config: SystemConfig,
+        algorithm: SelectionAlgorithm,
+        composite: CompositeKind,
+    ) -> Self {
         let hierarchy = Hierarchy::new(config.hierarchy.clone());
         let cores = (0..config.cores)
-            .map(|id| {
-                CoreModel::new(id, &config, PrefetchController::new(composite, algorithm))
-            })
+            .map(|id| CoreModel::new(id, &config, PrefetchController::new(composite, algorithm)))
             .collect();
         Self { config, algorithm, composite, hierarchy, cores }
     }
@@ -85,10 +87,10 @@ impl System {
         }
 
         SystemReport {
-            selector: self
-                .cores
-                .first()
-                .map_or_else(|| "NoPrefetch".to_string(), |c| c.controller().selector_name().to_string()),
+            selector: self.cores.first().map_or_else(
+                || "NoPrefetch".to_string(),
+                |c| c.controller().selector_name().to_string(),
+            ),
             composite: self.composite.label(),
             cores: self
                 .cores
@@ -125,8 +127,9 @@ mod tests {
     use alecto_types::{Addr, MemoryRecord, Pc};
 
     fn stream_workload(n: u64, name: &str) -> Workload {
-        let records =
-            (0..n).map(|i| MemoryRecord::load(Pc::new(0x400), Addr::new(0x40_0000 + i * 64), 6)).collect();
+        let records = (0..n)
+            .map(|i| MemoryRecord::load(Pc::new(0x400), Addr::new(0x40_0000 + i * 64), 6))
+            .collect();
         Workload::new(name, records, true)
     }
 

@@ -73,7 +73,10 @@ impl EnergyModel {
             + l3 as f64 * self.l3_access_pj
             + dram as f64 * self.dram_access_pj;
         let prefetcher_pj = trainings as f64 * self.prefetcher_table_pj;
-        HierarchyEnergy { hierarchy_nj: hierarchy_pj / 1000.0, prefetcher_nj: prefetcher_pj / 1000.0 }
+        HierarchyEnergy {
+            hierarchy_nj: hierarchy_pj / 1000.0,
+            prefetcher_nj: prefetcher_pj / 1000.0,
+        }
     }
 }
 

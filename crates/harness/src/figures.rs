@@ -120,15 +120,18 @@ pub fn table3() -> Experiment {
             b.bytes_excluding_sandbox().to_string(),
         ]);
     }
-    let bandit_ext = selectors::BanditSelector::extended(cfg.conservative_degree, cfg.max_aggressive, 3);
+    let bandit_ext =
+        selectors::BanditSelector::extended(cfg.conservative_degree, cfg.max_aggressive, 3);
     Experiment::new("table3", "Alecto storage overhead (Table III)", table)
-        .with_note(format!(
+        .with_note(
             "paper: 5312 + 1792*P bits; P=3 gives 1336 B total, 760 B excluding the sandbox"
-        ))
+                .to_string(),
+        )
         .with_note(format!(
             "extended Bandit (§VI-H) needs {} bytes, {:.1}x Alecto's P=3 requirement",
             bandit_ext.storage_bits() / 8,
-            bandit_ext.storage_bits() as f64 / f64::from(u32::try_from(storage_breakdown(&cfg, 3).total_bits()).unwrap_or(1))
+            bandit_ext.storage_bits() as f64
+                / f64::from(u32::try_from(storage_breakdown(&cfg, 3).total_bits()).unwrap_or(1))
         ))
 }
 
@@ -140,7 +143,12 @@ pub fn table3() -> Experiment {
 /// allocation, over the SPEC06- and SPEC17-like suites.
 #[must_use]
 pub fn fig1(scale: &RunScale) -> Experiment {
-    let mut table = Table::new(vec!["suite", "no DDRA (IPCP) table misses", "Alecto table misses", "reduction"]);
+    let mut table = Table::new(vec![
+        "suite",
+        "no DDRA (IPCP) table misses",
+        "Alecto table misses",
+        "reduction",
+    ]);
     for (label, workloads) in
         [("SPEC CPU2006", spec06_workloads(scale)), ("SPEC CPU2017", spec17_workloads(scale))]
     {
@@ -185,10 +193,15 @@ pub fn fig2(scale: &RunScale) -> Experiment {
         }
     }
     counts.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
-    let mut table = Table::new(vec!["PC", "accesses", "distinct deltas", "dominant delta", "classification"]);
+    let mut table =
+        Table::new(vec!["PC", "accesses", "distinct deltas", "dominant delta", "classification"]);
     for &(pc, n) in counts.iter().take(4) {
-        let lines: Vec<i64> =
-            w.records.iter().filter(|r| r.pc.raw() == pc).map(|r| r.addr.line().raw() as i64).collect();
+        let lines: Vec<i64> = w
+            .records
+            .iter()
+            .filter(|r| r.pc.raw() == pc)
+            .map(|r| r.addr.line().raw() as i64)
+            .collect();
         let deltas: Vec<i64> = lines.windows(2).map(|w| w[1] - w[0]).collect();
         let mut distinct: Vec<i64> = deltas.clone();
         distinct.sort_unstable();
@@ -214,8 +227,9 @@ pub fn fig2(scale: &RunScale) -> Experiment {
             class.to_string(),
         ]);
     }
-    Experiment::new("fig2", "Interleaved per-PC patterns of GemsFDTD (Fig. 2)", table)
-        .with_note("paper: PC 0x30b00 is spatial while PC 0x30aca streams; the patterns interleave in time")
+    Experiment::new("fig2", "Interleaved per-PC patterns of GemsFDTD (Fig. 2)", table).with_note(
+        "paper: PC 0x30b00 is spatial while PC 0x30aca streams; the patterns interleave in time",
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -289,8 +303,9 @@ pub fn fig10(scale: &RunScale) -> Experiment {
             format!("{:.3}", totals.coverage()),
         ]);
     }
-    Experiment::new("fig10", "Prefetcher quality metrics (Fig. 10)", table)
-        .with_note("paper: Alecto's accuracy exceeds Bandit6 by 13.51% without losing coverage or timeliness")
+    Experiment::new("fig10", "Prefetcher quality metrics (Fig. 10)", table).with_note(
+        "paper: Alecto's accuracy exceeds Bandit6 by 13.51% without losing coverage or timeliness",
+    )
 }
 
 /// Fig. 11: the alternate composite GS + Berti + CPLX.
@@ -317,8 +332,9 @@ pub fn fig11(scale: &RunScale) -> Experiment {
     });
     table.push_row(geomean_row(&grid, "Geomean (SPEC06+17)", false));
     table.push_row(geomean_row(&grid, "Geomean-Mem", true));
-    Experiment::new("fig11", "Alternate composite GS+Berti+CPLX (Fig. 11)", table)
-        .with_note("paper: Alecto beats IPCP by 8.52%, DOL by 8.68%, Bandit3 by 5.02%, Bandit6 by 2.04%")
+    Experiment::new("fig11", "Alternate composite GS+Berti+CPLX (Fig. 11)", table).with_note(
+        "paper: Alecto beats IPCP by 8.52%, DOL by 8.68%, Bandit3 by 5.02%, Bandit6 by 2.04%",
+    )
 }
 
 /// Fig. 12: composite prefetchers under Alecto versus the non-composite PMP
@@ -330,15 +346,23 @@ pub fn fig12(scale: &RunScale) -> Experiment {
     let config = SystemConfig::skylake_like(1);
     let mut table = Table::new(vec!["configuration", "geomean speedup"]);
     let single = |composite: CompositeKind| -> f64 {
-        let grid = run_single_core_suite(&workloads, &[SelectionAlgorithm::Ipcp], composite, &config);
+        let grid =
+            run_single_core_suite(&workloads, &[SelectionAlgorithm::Ipcp], composite, &config);
         grid.geomean_speedup("IPCP", false).unwrap_or(f64::NAN)
     };
     let alecto = |composite: CompositeKind| -> f64 {
-        let grid = run_single_core_suite(&workloads, &[SelectionAlgorithm::Alecto], composite, &config);
+        let grid =
+            run_single_core_suite(&workloads, &[SelectionAlgorithm::Alecto], composite, &config);
         grid.geomean_speedup("Alecto", false).unwrap_or(f64::NAN)
     };
-    table.push_row(vec!["PMP (non-composite)".to_string(), format!("{:.3}", single(CompositeKind::PmpOnly))]);
-    table.push_row(vec!["Berti (non-composite)".to_string(), format!("{:.3}", single(CompositeKind::BertiOnly))]);
+    table.push_row(vec![
+        "PMP (non-composite)".to_string(),
+        format!("{:.3}", single(CompositeKind::PmpOnly)),
+    ]);
+    table.push_row(vec![
+        "Berti (non-composite)".to_string(),
+        format!("{:.3}", single(CompositeKind::BertiOnly)),
+    ]);
     table.push_row(vec![
         "Alecto (GS+CS+PMP)".to_string(),
         format!("{:.3}", alecto(CompositeKind::GsCsPmp)),
@@ -400,8 +424,12 @@ pub fn fig13(scale: &RunScale) -> Experiment {
         let s = temporal_speedup(&workloads, with_t, without_t, metadata);
         table.push_row(vec![label.to_string(), format!("{s:.3}")]);
     }
-    Experiment::new("fig13", "Temporal prefetching with different request-allocation policies (Fig. 13)", table)
-        .with_note("paper: Alecto beats Bandit by 8.39% and Triangel by 2.18% on temporal benchmarks")
+    Experiment::new(
+        "fig13",
+        "Temporal prefetching with different request-allocation policies (Fig. 13)",
+        table,
+    )
+    .with_note("paper: Alecto beats Bandit by 8.39% and Triangel by 2.18% on temporal benchmarks")
 }
 
 /// Fig. 14: geomean speedup versus temporal metadata table size.
@@ -411,10 +439,18 @@ pub fn fig14(scale: &RunScale) -> Experiment {
     let mut table = Table::new(vec!["metadata size", "Bandit", "Alecto"]);
     for kb in [128u64, 256, 512, 1024] {
         let bytes = kb * 1024;
-        let bandit =
-            temporal_speedup(&workloads, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Bandit6, bytes);
-        let alecto =
-            temporal_speedup(&workloads, SelectionAlgorithm::Alecto, SelectionAlgorithm::Alecto, bytes);
+        let bandit = temporal_speedup(
+            &workloads,
+            SelectionAlgorithm::Bandit6,
+            SelectionAlgorithm::Bandit6,
+            bytes,
+        );
+        let alecto = temporal_speedup(
+            &workloads,
+            SelectionAlgorithm::Alecto,
+            SelectionAlgorithm::Alecto,
+            bytes,
+        );
         table.push_row(vec![format!("{kb}KB"), format!("{bandit:.3}"), format!("{alecto:.3}")]);
     }
     Experiment::new("fig14", "Speedup vs temporal metadata table size (Fig. 14)", table)
@@ -436,7 +472,8 @@ pub fn fig15(scale: &RunScale) -> Experiment {
     });
     for mb in [512 * 1024u64, 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024] {
         let config = SystemConfig::with_llc_per_core(1, mb);
-        let grid = run_single_core_suite(&workloads, &main_algorithms(), CompositeKind::GsCsPmp, &config);
+        let grid =
+            run_single_core_suite(&workloads, &main_algorithms(), CompositeKind::GsCsPmp, &config);
         let mut row = vec![format!("{:.1} MB", mb as f64 / (1024.0 * 1024.0))];
         for algo in &grid.algorithm_labels {
             row.push(format!("{:.3}", grid.geomean_speedup(algo, false).unwrap_or(f64::NAN)));
@@ -458,7 +495,8 @@ pub fn fig16(scale: &RunScale) -> Experiment {
     });
     for (label, kind) in [("DDR3-1600", DramKind::Ddr3_1600), ("DDR4-2400", DramKind::Ddr4_2400)] {
         let config = SystemConfig::with_dram(1, kind);
-        let grid = run_single_core_suite(&workloads, &main_algorithms(), CompositeKind::GsCsPmp, &config);
+        let grid =
+            run_single_core_suite(&workloads, &main_algorithms(), CompositeKind::GsCsPmp, &config);
         let mut row = vec![label.to_string()];
         for algo in &grid.algorithm_labels {
             row.push(format!("{:.3}", grid.geomean_speedup(algo, false).unwrap_or(f64::NAN)));
@@ -483,14 +521,26 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         .enumerate()
         .map(|(i, n)| offset_workload(traces::spec06::workload(n, scale.multicore_accesses), i))
         .collect();
-    grids.push(run_multicore_mix("SPEC06-mix", &spec06_mix, &algorithms, CompositeKind::GsCsPmp, &config));
+    grids.push(run_multicore_mix(
+        "SPEC06-mix",
+        &spec06_mix,
+        &algorithms,
+        CompositeKind::GsCsPmp,
+        &config,
+    ));
     let spec17_mix: Vec<Workload> = traces::spec17::memory_intensive()
         .iter()
         .take(8)
         .enumerate()
         .map(|(i, n)| offset_workload(traces::spec17::workload(n, scale.multicore_accesses), i))
         .collect();
-    grids.push(run_multicore_mix("SPEC17-mix", &spec17_mix, &algorithms, CompositeKind::GsCsPmp, &config));
+    grids.push(run_multicore_mix(
+        "SPEC17-mix",
+        &spec17_mix,
+        &algorithms,
+        CompositeKind::GsCsPmp,
+        &config,
+    ));
 
     // PARSEC: each core runs one thread of the same benchmark.
     for bench in ["canneal", "streamcluster"] {
@@ -526,8 +576,9 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         }
         row
     });
-    Experiment::new("fig17", "Eight-core speedup over no prefetching (Fig. 17)", table)
-        .with_note("paper: Alecto beats IPCP by 10.60%, DOL by 11.52%, Bandit3 by 9.51%, Bandit6 by 7.56%")
+    Experiment::new("fig17", "Eight-core speedup over no prefetching (Fig. 17)", table).with_note(
+        "paper: Alecto beats IPCP by 10.60%, DOL by 11.52%, Bandit3 by 9.51%, Bandit6 by 7.56%",
+    )
 }
 
 fn offset_workload(mut w: Workload, core: usize) -> Workload {
@@ -577,7 +628,8 @@ pub fn fig18(scale: &RunScale) -> Experiment {
     };
     let (bandit_pf, bandit_h, bandit_p) = totals("Bandit6");
     let (alecto_pf, alecto_h, alecto_p) = totals("Alecto");
-    let mut table = Table::new(vec!["prefetcher", "Bandit6 trainings", "Alecto trainings", "reduction"]);
+    let mut table =
+        Table::new(vec!["prefetcher", "Bandit6 trainings", "Alecto trainings", "reduction"]);
     for (name, bandit_t) in &bandit_pf {
         let alecto_t = alecto_pf.iter().find(|(n, _)| n == name).map_or(0, |(_, t)| *t);
         let reduction = if *bandit_t == 0 { 0.0 } else { 1.0 - alecto_t as f64 / *bandit_t as f64 };
@@ -591,7 +643,11 @@ pub fn fig18(scale: &RunScale) -> Experiment {
     let train_reduction = {
         let b: u64 = bandit_pf.iter().map(|(_, t)| t).sum();
         let a: u64 = alecto_pf.iter().map(|(_, t)| t).sum();
-        if b == 0 { 0.0 } else { 1.0 - a as f64 / b as f64 }
+        if b == 0 {
+            0.0
+        } else {
+            1.0 - a as f64 / b as f64
+        }
     };
     Experiment::new("fig18", "Prefetcher training occurrences and energy (Fig. 18, §VI-I)", table)
         .with_note(format!("total training reduction: {:.1}% (paper: 48%)", train_reduction * 100.0))
@@ -634,8 +690,14 @@ pub fn fig20(scale: &RunScale) -> Experiment {
         CompositeKind::GsCsPmp,
         &SystemConfig::skylake_like(1),
     );
-    Experiment::new("fig20", "IPCP+PPF vs Alecto on memory-intensive benchmarks (Fig. 20)", grid.to_table())
-        .with_note("paper: Alecto beats IPCP+PPF_Aggressive by 18.38% and IPCP+PPF_Conservative by 14.98%")
+    Experiment::new(
+        "fig20",
+        "IPCP+PPF vs Alecto on memory-intensive benchmarks (Fig. 20)",
+        grid.to_table(),
+    )
+    .with_note(
+        "paper: Alecto beats IPCP+PPF_Aggressive by 18.38% and IPCP+PPF_Conservative by 14.98%",
+    )
 }
 
 /// §VI-H: the extended-arm Bandit versus Bandit6 and Alecto.
@@ -655,7 +717,10 @@ pub fn bandit_extended(scale: &RunScale) -> Experiment {
     let mut table = Table::new(vec!["algorithm", "geomean speedup", "storage (bytes)"]);
     for (algo, selector) in [
         (SelectionAlgorithm::Bandit6, cpu::build_selector(SelectionAlgorithm::Bandit6, 3)),
-        (SelectionAlgorithm::BanditExtended, cpu::build_selector(SelectionAlgorithm::BanditExtended, 3)),
+        (
+            SelectionAlgorithm::BanditExtended,
+            cpu::build_selector(SelectionAlgorithm::BanditExtended, 3),
+        ),
         (SelectionAlgorithm::Alecto, cpu::build_selector(SelectionAlgorithm::Alecto, 3)),
     ] {
         let label = algo.label();
@@ -730,8 +795,10 @@ mod tests {
     fn bandit_extended_reports_storage_gap() {
         let scale = RunScale { accesses: 300, multicore_accesses: 200 };
         let e = bandit_extended(&scale);
-        let ext_storage: u64 = e.table.cell("BanditExt", "storage (bytes)").unwrap().parse().unwrap();
-        let alecto_storage: u64 = e.table.cell("Alecto", "storage (bytes)").unwrap().parse().unwrap();
+        let ext_storage: u64 =
+            e.table.cell("BanditExt", "storage (bytes)").unwrap().parse().unwrap();
+        let alecto_storage: u64 =
+            e.table.cell("Alecto", "storage (bytes)").unwrap().parse().unwrap();
         assert!(ext_storage > 2 * alecto_storage);
     }
 }

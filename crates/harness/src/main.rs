@@ -26,6 +26,7 @@ fn main() {
         usage();
     }
     let mut scale = RunScale::default();
+    let mut accesses_override = None;
     let mut experiment = None;
     let mut i = 0;
     while i < args.len() {
@@ -34,8 +35,7 @@ fn main() {
             "--accesses" => {
                 i += 1;
                 let n = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                scale.accesses = n;
-                scale.multicore_accesses = (n / 3).max(500);
+                accesses_override = Some(n);
             }
             name if experiment.is_none() => experiment = Some(name.to_string()),
             _ => usage(),
@@ -43,6 +43,13 @@ fn main() {
         i += 1;
     }
     let experiment = experiment.unwrap_or_else(|| usage());
+    if experiment == "quick" {
+        scale = RunScale::quick();
+    }
+    if let Some(n) = accesses_override {
+        scale.accesses = n;
+        scale.multicore_accesses = (n / 3).max(100);
+    }
 
     let experiments = match experiment.as_str() {
         "table1" => vec![figures::table1()],
@@ -64,8 +71,7 @@ fn main() {
         "fig19" => vec![figures::fig19(&scale)],
         "fig20" => vec![figures::fig20(&scale)],
         "bandit-ext" | "vi_h" => vec![figures::bandit_extended(&scale)],
-        "all" => figures::all(&scale),
-        "quick" => figures::all(&RunScale::quick()),
+        "all" | "quick" => figures::all(&scale),
         _ => usage(),
     };
     for e in experiments {

@@ -143,7 +143,8 @@ mod tests {
     fn experiment_render_includes_notes() {
         let mut t = Table::new(vec!["metric", "value"]);
         t.push_row(vec!["geomean", "1.05"]);
-        let e = Experiment::new("fig8", "Single-core speedup", t).with_note("paper: Alecto > Bandit6 by 3.2%");
+        let e = Experiment::new("fig8", "Single-core speedup", t)
+            .with_note("paper: Alecto > Bandit6 by 3.2%");
         let s = e.render();
         assert!(s.contains("fig8"));
         assert!(s.contains("note: paper"));

@@ -85,7 +85,9 @@ impl SpeedupGrid {
             .benchmarks
             .iter()
             .filter(|b| !memory_intensive_only || b.memory_intensive)
-            .filter_map(|b| b.algorithms.iter().find(|a| a.algorithm == algorithm).map(|a| a.speedup))
+            .filter_map(|b| {
+                b.algorithms.iter().find(|a| a.algorithm == algorithm).map(|a| a.speedup)
+            })
             .collect();
         geomean(&values)
     }
@@ -136,7 +138,12 @@ pub fn run_single_core_suite(
 ) -> SpeedupGrid {
     let mut benchmarks = Vec::with_capacity(workloads.len());
     for workload in workloads {
-        let baseline = run_one(config.clone(), SelectionAlgorithm::NoPrefetching, composite, std::slice::from_ref(workload));
+        let baseline = run_one(
+            config.clone(),
+            SelectionAlgorithm::NoPrefetching,
+            composite,
+            std::slice::from_ref(workload),
+        );
         let base_ipc = baseline.geomean_ipc().unwrap_or(1e-9);
         let mut algo_results = Vec::with_capacity(algorithms.len());
         for &algo in algorithms {

@@ -1,0 +1,62 @@
+//! Smoke tests for the `alecto-harness` CLI: the binary must stay runnable,
+//! not just compilable, so CI exercises an end-to-end `quick` run on a tiny
+//! access budget and the usage/exit-code contract.
+
+use std::process::Command;
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alecto-harness"))
+}
+
+#[test]
+fn quick_on_a_tiny_budget_exits_zero_and_emits_a_report() {
+    let output = harness().args(["quick", "--accesses", "60"]).output().expect("spawn harness");
+    assert!(output.status.success(), "expected exit 0, got {:?}", output.status);
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 report");
+    // Every experiment of the evaluation must appear, rendered as a table.
+    for id in ["fig1", "fig8", "fig17", "table1", "table3", "vi_h"] {
+        assert!(stdout.contains(&format!("== {id} ")), "report is missing {id}:\n{stdout}");
+    }
+    assert!(stdout.lines().count() > 50, "report looks truncated:\n{stdout}");
+}
+
+#[test]
+fn single_experiment_respects_accesses_override() {
+    // fig2 is scale-dependent: its table reports per-PC access counts out of
+    // the workload's total, so an honored `--accesses 120` bounds their sum
+    // (the default scale would show thousands).
+    let output = harness().args(["fig2", "--accesses", "120"]).output().expect("spawn harness");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 report");
+    let per_pc_total: u64 = stdout
+        .lines()
+        .filter(|l| l.starts_with("0x"))
+        .filter_map(|l| l.split_whitespace().nth(1)?.parse::<u64>().ok())
+        .sum();
+    assert!(per_pc_total > 0, "fig2 table has no per-PC rows:\n{stdout}");
+    assert!(per_pc_total <= 120, "override ignored: {per_pc_total} accesses listed\n{stdout}");
+}
+
+#[test]
+fn scale_independent_experiment_renders() {
+    let output = harness().args(["table2"]).output().expect("spawn harness");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 report");
+    assert!(stdout.contains("Prefetchers being selected"));
+}
+
+#[test]
+fn unknown_experiment_exits_two_with_usage() {
+    let output = harness().arg("fig99").output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 usage");
+    assert!(stderr.contains("usage: alecto-harness"), "no usage on stderr:\n{stderr}");
+}
+
+#[test]
+fn no_arguments_exits_two_with_usage() {
+    let output = harness().output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 usage");
+    assert!(stderr.contains("experiments:"));
+}

@@ -138,7 +138,8 @@ impl DramModel {
         let data_ready = start + array_latency;
         let channel_busy = self.channel_busy_until[channel];
         let backlog = self.prefetch_backlog[channel].min(channel_busy.saturating_sub(now));
-        let effective_busy = if is_prefetch { channel_busy } else { channel_busy.saturating_sub(backlog) };
+        let effective_busy =
+            if is_prefetch { channel_busy } else { channel_busy.saturating_sub(backlog) };
         let bus_start = data_ready.max(effective_busy);
         let bus_queue = bus_start - data_ready;
         let completion = bus_start + self.burst_cycles;
@@ -188,7 +189,15 @@ impl DramModel {
     pub fn channel_pressure(&self, now: Cycle) -> Vec<f64> {
         self.channel_busy_until
             .iter()
-            .map(|&busy| if busy > now { (busy - now) as f64 / self.burst_cycles as f64 } else { 0.0 })
+            .map(
+                |&busy| {
+                    if busy > now {
+                        (busy - now) as f64 / self.burst_cycles as f64
+                    } else {
+                        0.0
+                    }
+                },
+            )
             .collect()
     }
 
@@ -272,7 +281,11 @@ mod tests {
         let d = DramModel::new(DramParams::multi_core(DramKind::Ddr4_2400, 8));
         let lines: Vec<LineAddr> = (0..64).map(LineAddr::new).collect();
         let balance = d.bank_balance(&lines);
-        assert!(balance.len() > 8, "64 consecutive lines should hit many banks, got {}", balance.len());
+        assert!(
+            balance.len() > 8,
+            "64 consecutive lines should hit many banks, got {}",
+            balance.len()
+        );
     }
 
     #[test]

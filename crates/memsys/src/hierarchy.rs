@@ -188,7 +188,10 @@ impl Hierarchy {
         std::mem::take(&mut self.feedback)
     }
 
-    fn record_eviction_feedback(feedback: &mut Vec<PrefetchFeedback>, evicted: Option<crate::cache::EvictionInfo>) {
+    fn record_eviction_feedback(
+        feedback: &mut Vec<PrefetchFeedback>,
+        evicted: Option<crate::cache::EvictionInfo>,
+    ) {
         if let Some(ev) = evicted {
             if ev.was_unused_prefetch {
                 if let Some(issuer) = ev.prefetch_issuer {
@@ -239,13 +242,23 @@ impl Hierarchy {
             let coverage = match issuer {
                 Some(p) if first_merge => {
                     cp.quality.covered_untimely += 1;
-                    self.feedback.push(PrefetchFeedback { issuer: p, trigger_pc: None, line, useful: true });
+                    self.feedback.push(PrefetchFeedback {
+                        issuer: p,
+                        trigger_pc: None,
+                        line,
+                        useful: true,
+                    });
                     CoverageEvent::CoveredUntimely { issuer: p, trigger_pc: None }
                 }
                 _ => CoverageEvent::CacheHit,
             };
             let latency = l1_latency.max(completion.saturating_sub(now));
-            return DemandResult { hit_level: None, latency, completion_cycle: now + latency, coverage };
+            return DemandResult {
+                hit_level: None,
+                latency,
+                completion_cycle: now + latency,
+                coverage,
+            };
         }
 
         // --- L1 array ------------------------------------------------------
@@ -305,7 +318,12 @@ impl Hierarchy {
             if let Some(p) = issuer {
                 if first_merge {
                     self.cores[core].quality.covered_untimely += 1;
-                    self.feedback.push(PrefetchFeedback { issuer: p, trigger_pc: None, line, useful: true });
+                    self.feedback.push(PrefetchFeedback {
+                        issuer: p,
+                        trigger_pc: None,
+                        line,
+                        useful: true,
+                    });
                     coverage = CoverageEvent::CoveredUntimely { issuer: p, trigger_pc: None };
                 }
             }
@@ -337,7 +355,12 @@ impl Hierarchy {
                 if let Some(p) = issuer {
                     if first_merge {
                         self.cores[core].quality.covered_untimely += 1;
-                        self.feedback.push(PrefetchFeedback { issuer: p, trigger_pc: None, line, useful: true });
+                        self.feedback.push(PrefetchFeedback {
+                            issuer: p,
+                            trigger_pc: None,
+                            line,
+                            useful: true,
+                        });
                         coverage = CoverageEvent::CoveredUntimely { issuer: p, trigger_pc: None };
                     }
                 }
@@ -410,7 +433,11 @@ impl Hierarchy {
             || self.cores[core].l2_mshr.lookup(line, now).is_some();
         if resident || in_flight {
             self.prefetches_redundant += 1;
-            return PrefetchIssueResult { issued: false, completion_cycle: now, went_to_dram: false };
+            return PrefetchIssueResult {
+                issued: false,
+                completion_cycle: now,
+                went_to_dram: false,
+            };
         }
 
         // MSHR admission control happens *before* any bandwidth is spent:
@@ -423,12 +450,20 @@ impl Hierarchy {
         }
         if fill_level == FillLevel::L2 && !self.cores[core].l2_mshr.has_free(now) {
             self.prefetches_redundant += 1;
-            return PrefetchIssueResult { issued: false, completion_cycle: now, went_to_dram: false };
+            return PrefetchIssueResult {
+                issued: false,
+                completion_cycle: now,
+                went_to_dram: false,
+            };
         }
         if fill_level == FillLevel::L2 && self.cores[core].l2.contains(line) {
             // Demoted request finds its line already in the L2: nothing to do.
             self.prefetches_redundant += 1;
-            return PrefetchIssueResult { issued: false, completion_cycle: now, went_to_dram: false };
+            return PrefetchIssueResult {
+                issued: false,
+                completion_cycle: now,
+                went_to_dram: false,
+            };
         }
 
         // Find the data: L2 (when targeting L1), then L3, then DRAM.
@@ -558,7 +593,10 @@ mod tests {
         assert!(p.issued);
         // Demand arrives while the prefetch is still in flight.
         let r = h.demand_access(0, LineAddr::new(0x300), 1);
-        assert!(matches!(r.coverage, CoverageEvent::CoveredUntimely { issuer: PrefetcherId(1), .. }));
+        assert!(matches!(
+            r.coverage,
+            CoverageEvent::CoveredUntimely { issuer: PrefetcherId(1), .. }
+        ));
         assert!(r.latency > h.params().l1d.latency);
         assert!(r.latency < p.completion_cycle + 10);
         assert_eq!(h.quality(0).covered_untimely, 1);
@@ -605,7 +643,10 @@ mod tests {
             t = r.completion_cycle + 1;
         }
         let fb = h.drain_feedback();
-        assert!(fb.iter().any(|f| !f.useful && f.line == victim), "victim should be reported useless");
+        assert!(
+            fb.iter().any(|f| !f.useful && f.line == victim),
+            "victim should be reported useless"
+        );
         assert!(h.quality(0).overpredicted >= 1);
     }
 

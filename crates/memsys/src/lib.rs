@@ -36,6 +36,8 @@ pub use cache::{Cache, EvictionInfo, LineMeta};
 pub use config::{CacheParams, DramKind, DramParams, HierarchyParams, Level};
 pub use dram::DramModel;
 pub use dram::DramStats;
-pub use hierarchy::{CoverageEvent, DemandResult, Hierarchy, PrefetchFeedback, PrefetchIssueResult};
+pub use hierarchy::{
+    CoverageEvent, DemandResult, Hierarchy, PrefetchFeedback, PrefetchIssueResult,
+};
 pub use mshr::{MshrEntry, MshrFile};
 pub use stats::{CacheStats, Cycle, PrefetchQuality};

@@ -124,7 +124,12 @@ impl MshrFile {
         }
         self.entries.insert(
             line,
-            MshrEntry { line, completion: completion + stall, prefetch_issuer, demand_merged: false },
+            MshrEntry {
+                line,
+                completion: completion + stall,
+                prefetch_issuer,
+                demand_merged: false,
+            },
         );
         stall
     }

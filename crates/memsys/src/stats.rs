@@ -124,7 +124,12 @@ mod tests {
 
     #[test]
     fn quality_metrics() {
-        let q = PrefetchQuality { covered_timely: 60, covered_untimely: 20, uncovered: 20, overpredicted: 20 };
+        let q = PrefetchQuality {
+            covered_timely: 60,
+            covered_untimely: 20,
+            uncovered: 20,
+            overpredicted: 20,
+        };
         assert!((q.accuracy() - 0.8).abs() < 1e-12);
         assert!((q.coverage() - 0.8).abs() < 1e-12);
         assert!((q.timeliness() - 0.75).abs() < 1e-12);
@@ -140,8 +145,18 @@ mod tests {
 
     #[test]
     fn quality_merge() {
-        let mut a = PrefetchQuality { covered_timely: 1, covered_untimely: 2, uncovered: 3, overpredicted: 4 };
-        let b = PrefetchQuality { covered_timely: 10, covered_untimely: 20, uncovered: 30, overpredicted: 40 };
+        let mut a = PrefetchQuality {
+            covered_timely: 1,
+            covered_untimely: 2,
+            uncovered: 3,
+            overpredicted: 4,
+        };
+        let b = PrefetchQuality {
+            covered_timely: 10,
+            covered_untimely: 20,
+            uncovered: 30,
+            overpredicted: 40,
+        };
         a.merge(&b);
         assert_eq!(a.covered_timely, 11);
         assert_eq!(a.covered_untimely, 22);

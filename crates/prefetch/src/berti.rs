@@ -59,7 +59,12 @@ impl BertiPrefetcher {
     /// Creates a Berti prefetcher with the given configuration.
     #[must_use]
     pub fn new(config: BertiConfig) -> Self {
-        Self { table: vec![None; config.entries], config, lru_clock: 0, stats: TableStats::default() }
+        Self {
+            table: vec![None; config.entries],
+            config,
+            lru_clock: 0,
+            stats: TableStats::default(),
+        }
     }
 
     /// Creates a Berti prefetcher with the default configuration.
@@ -128,11 +133,10 @@ impl Prefetcher for BertiPrefetcher {
                 continue;
             }
             let reward: u8 = if age >= 2 { 2 } else { 1 };
-            if let Some(d) = entry.deltas.iter_mut().find(|d| d.confidence > 0 && d.delta == delta) {
-                d.confidence = (d.confidence + reward).min(max);
-            } else if let Some(free) =
-                entry.deltas.iter_mut().min_by_key(|d| d.confidence)
+            if let Some(d) = entry.deltas.iter_mut().find(|d| d.confidence > 0 && d.delta == delta)
             {
+                d.confidence = (d.confidence + reward).min(max);
+            } else if let Some(free) = entry.deltas.iter_mut().min_by_key(|d| d.confidence) {
                 if free.confidence == 0 {
                     *free = DeltaEntry { delta, confidence: reward };
                 } else {
@@ -156,7 +160,9 @@ impl Prefetcher for BertiPrefetcher {
             .copied()
             .filter(|d| d.confidence >= threshold && d.delta != 0)
             .collect();
-        best.sort_by(|a, b| b.confidence.cmp(&a.confidence).then(a.delta.abs().cmp(&b.delta.abs())));
+        best.sort_by(|a, b| {
+            b.confidence.cmp(&a.confidence).then(a.delta.abs().cmp(&b.delta.abs()))
+        });
         for d in best.into_iter().take(degree as usize) {
             out.push(line.offset(d.delta));
             self.stats.candidates_emitted += 1;
@@ -208,7 +214,10 @@ mod tests {
         assert_eq!(out.len(), 2);
         for line in &out {
             let delta = line.delta_from(last);
-            assert!((1..=8).contains(&delta), "predicted delta {delta} should be ahead of the walk");
+            assert!(
+                (1..=8).contains(&delta),
+                "predicted delta {delta} should be ahead of the walk"
+            );
         }
     }
 
@@ -224,14 +233,18 @@ mod tests {
         let last = Addr::new(0x20_0000 + 11 * 5 * 64).line();
         assert_eq!(out.len(), 1);
         let delta = out[0].delta_from(last);
-        assert!(delta > 0 && delta % 5 == 0, "prediction must follow the 5-line stride, got {delta}");
+        assert!(
+            delta > 0 && delta % 5 == 0,
+            "prediction must follow the 5-line stride, got {delta}"
+        );
     }
 
     #[test]
     fn irregular_pattern_stays_quiet() {
         let mut pf = BertiPrefetcher::default_config();
         let mut out = Vec::new();
-        let addrs = [0x1000u64, 0x9_0000, 0x3_3000, 0x70_0400, 0x12_1000, 0x5000, 0x44_0000, 0x2_0000];
+        let addrs =
+            [0x1000u64, 0x9_0000, 0x3_3000, 0x70_0400, 0x12_1000, 0x5000, 0x44_0000, 0x2_0000];
         for &a in &addrs {
             out.clear();
             pf.train_and_predict(&access(0x908, a), 2, &mut out);

@@ -137,7 +137,12 @@ impl CplxPrefetcher {
             self.stats.evictions += 1;
             victim
         };
-        self.dpt[slot] = Some(DptEntry { signature, predicted_delta: observed_delta, confidence: 1, lru: clock });
+        self.dpt[slot] = Some(DptEntry {
+            signature,
+            predicted_delta: observed_delta,
+            confidence: 1,
+            lru: clock,
+        });
     }
 
     fn dpt_lookup(&mut self, signature: u32) -> Option<(i64, u8)> {
@@ -264,7 +269,13 @@ mod tests {
     }
 
     /// Drives a repeating delta sequence (in lines) through the prefetcher.
-    fn drive(pf: &mut CplxPrefetcher, pc: u64, deltas: &[i64], reps: usize, degree: u32) -> Vec<LineAddr> {
+    fn drive(
+        pf: &mut CplxPrefetcher,
+        pc: u64,
+        deltas: &[i64],
+        reps: usize,
+        degree: u32,
+    ) -> Vec<LineAddr> {
         let mut out = Vec::new();
         let mut line: i64 = 1 << 20;
         for _ in 0..reps {

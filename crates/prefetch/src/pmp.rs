@@ -113,7 +113,7 @@ impl PmpPrefetcher {
             self.pht[victim] = None;
             victim
         };
-        let pattern = self.pht[slot].get_or_insert_with(|| PatternEntry {
+        let pattern = self.pht[slot].get_or_insert(PatternEntry {
             signature,
             counters: [0; OFFSETS],
             lru: clock,
@@ -129,15 +129,17 @@ impl PmpPrefetcher {
         }
     }
 
-    fn predict(&mut self, pc: Pc, page: PageAddr, trigger_offset: u64, degree: u32, out: &mut Vec<LineAddr>) {
+    fn predict(
+        &mut self,
+        pc: Pc,
+        page: PageAddr,
+        trigger_offset: u64,
+        degree: u32,
+        out: &mut Vec<LineAddr>,
+    ) {
         let signature = Self::signature(pc, trigger_offset);
         self.stats.lookups += 1;
-        let Some(pattern) = self
-            .pht
-            .iter()
-            .flatten()
-            .find(|e| e.signature == signature)
-            .cloned()
+        let Some(pattern) = self.pht.iter().flatten().find(|e| e.signature == signature).cloned()
         else {
             self.stats.misses += 1;
             return;
@@ -177,12 +179,7 @@ impl Prefetcher for PmpPrefetcher {
         self.lru_clock += 1;
         let clock = self.lru_clock;
 
-        if let Some(entry) = self
-            .accumulation
-            .iter_mut()
-            .flatten()
-            .find(|e| e.page == page)
-        {
+        if let Some(entry) = self.accumulation.iter_mut().flatten().find(|e| e.page == page) {
             entry.footprint |= 1 << offset;
             entry.lru = clock;
             return;
@@ -256,7 +253,13 @@ mod tests {
     }
 
     /// Touch the given offsets (in lines) of page `page_no` under `pc`.
-    fn touch_page(pf: &mut PmpPrefetcher, pc: u64, page_no: u64, offsets: &[u64], degree: u32) -> Vec<LineAddr> {
+    fn touch_page(
+        pf: &mut PmpPrefetcher,
+        pc: u64,
+        page_no: u64,
+        offsets: &[u64],
+        degree: u32,
+    ) -> Vec<LineAddr> {
         let mut out = Vec::new();
         for &o in offsets {
             let addr = page_no * 4096 + o * 64;

@@ -212,11 +212,8 @@ impl Prefetcher for StreamPrefetcher {
     }
 
     fn probe(&self, access: &DemandAccess) -> bool {
-        let pc_confident = self
-            .ip_table
-            .iter()
-            .flatten()
-            .any(|e| e.tag == access.pc && e.confidence.value() >= 2);
+        let pc_confident =
+            self.ip_table.iter().flatten().any(|e| e.tag == access.pc && e.confidence.value() >= 2);
         let (region, _) = Self::region_of(access.line());
         let region_dense = self
             .rst

@@ -46,7 +46,12 @@ impl StridePrefetcher {
     /// Creates a stride prefetcher with the given configuration.
     #[must_use]
     pub fn new(config: StrideConfig) -> Self {
-        Self { table: vec![None; config.entries], config, lru_clock: 0, stats: TableStats::default() }
+        Self {
+            table: vec![None; config.entries],
+            config,
+            lru_clock: 0,
+            stats: TableStats::default(),
+        }
     }
 
     /// Creates a stride prefetcher with the Table II configuration.

@@ -247,7 +247,8 @@ mod tests {
     fn larger_metadata_covers_longer_reuse() {
         let seq: Vec<u64> = (0..2_000).map(|i| (i * 104_729) % 1_000_000).collect();
         let run = |bytes: u64| {
-            let mut pf = TemporalPrefetcher::new(TemporalConfig { metadata_bytes: bytes, max_degree: 1 });
+            let mut pf =
+                TemporalPrefetcher::new(TemporalConfig { metadata_bytes: bytes, max_degree: 1 });
             let mut out = Vec::new();
             // Two passes: first trains, second measures hits.
             for &l in &seq {
@@ -265,7 +266,10 @@ mod tests {
         };
         let small_hits = run(4 * 1024); // 512 entries << 2000-line working set
         let big_hits = run(64 * 1024); // 8192 entries, fits easily
-        assert!(big_hits > small_hits, "bigger metadata must cover more ({big_hits} vs {small_hits})");
+        assert!(
+            big_hits > small_hits,
+            "bigger metadata must cover more ({big_hits} vs {small_hits})"
+        );
     }
 
     #[test]
@@ -281,7 +285,8 @@ mod tests {
 
     #[test]
     fn metadata_storage_matches_budget() {
-        let pf = TemporalPrefetcher::new(TemporalConfig { metadata_bytes: 256 * 1024, max_degree: 1 });
+        let pf =
+            TemporalPrefetcher::new(TemporalConfig { metadata_bytes: 256 * 1024, max_degree: 1 });
         assert_eq!(pf.storage_bits(), 256 * 1024 * 8);
         assert_eq!(pf.config().capacity_entries(), 32 * 1024);
         assert!(pf.is_temporal());

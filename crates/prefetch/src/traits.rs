@@ -125,9 +125,23 @@ mod tests {
 
     #[test]
     fn table_stats_ratio_and_merge() {
-        let mut a = TableStats { lookups: 10, hits: 7, misses: 3, trainings: 10, evictions: 1, candidates_emitted: 5 };
+        let mut a = TableStats {
+            lookups: 10,
+            hits: 7,
+            misses: 3,
+            trainings: 10,
+            evictions: 1,
+            candidates_emitted: 5,
+        };
         assert!((a.hit_ratio() - 0.7).abs() < 1e-12);
-        let b = TableStats { lookups: 10, hits: 3, misses: 7, trainings: 2, evictions: 0, candidates_emitted: 1 };
+        let b = TableStats {
+            lookups: 10,
+            hits: 3,
+            misses: 7,
+            trainings: 2,
+            evictions: 0,
+            candidates_emitted: 1,
+        };
         a.merge(&b);
         assert_eq!(a.lookups, 20);
         assert_eq!(a.hits, 10);

@@ -158,7 +158,9 @@ impl BanditSelector {
             .arms
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.mean_reward.partial_cmp(&b.1.mean_reward).expect("rewards are finite"))
+            .max_by(|a, b| {
+                a.1.mean_reward.partial_cmp(&b.1.mean_reward).expect("rewards are finite")
+            })
             .map(|(i, _)| i)
             .unwrap_or(0);
     }
@@ -196,11 +198,7 @@ impl Selector for BanditSelector {
     }
 
     fn on_epoch(&mut self, committed_instructions: u64, cycles: u64) {
-        let reward = if cycles == 0 {
-            0.0
-        } else {
-            committed_instructions as f64 / cycles as f64
-        };
+        let reward = if cycles == 0 { 0.0 } else { committed_instructions as f64 / cycles as f64 };
         let arm = &mut self.arms[self.current_arm];
         arm.pulls += 1;
         arm.mean_reward += (reward - arm.mean_reward) / arm.pulls as f64;
@@ -287,8 +285,10 @@ mod tests {
             small.on_epoch(1_000, 1_000);
             big.on_epoch(1_000, 1_000);
         }
-        let explored_small = small.arms.iter().filter(|a| a.pulls > 0).count() as f64 / small.arms.len() as f64;
-        let explored_big = big.arms.iter().filter(|a| a.pulls > 0).count() as f64 / big.arms.len() as f64;
+        let explored_small =
+            small.arms.iter().filter(|a| a.pulls > 0).count() as f64 / small.arms.len() as f64;
+        let explored_big =
+            big.arms.iter().filter(|a| a.pulls > 0).count() as f64 / big.arms.len() as f64;
         assert!(explored_small > explored_big);
     }
 

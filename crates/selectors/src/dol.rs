@@ -119,10 +119,8 @@ mod tests {
                 );
             }
         }
-        let d = s.allocate(
-            &DemandAccess::load(Pc::new(0x40), Addr::new(0x1000 + 4 * 64)),
-            &prefetchers,
-        );
+        let d = s
+            .allocate(&DemandAccess::load(Pc::new(0x40), Addr::new(0x1000 + 4 * 64)), &prefetchers);
         // GS (0) and CS (1) are trained; PMP (2) never sees the request.
         assert!(d.per_prefetcher[0].is_some());
         assert!(d.per_prefetcher[1].is_some());
@@ -133,7 +131,8 @@ mod tests {
     #[test]
     fn single_prefetcher_composite_works() {
         let mut s = DolSelector::new(2);
-        let prefetchers: Vec<Box<dyn Prefetcher>> = vec![Box::new(StridePrefetcher::default_config())];
+        let prefetchers: Vec<Box<dyn Prefetcher>> =
+            vec![Box::new(StridePrefetcher::default_config())];
         let d = s.allocate(&DemandAccess::load(Pc::new(5), Addr::new(0x40)), &prefetchers);
         assert_eq!(d.allocated_count(), 1);
         assert_eq!(d.per_prefetcher[0].unwrap().total, 2);

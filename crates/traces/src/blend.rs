@@ -54,19 +54,40 @@ impl Blend {
         let seed = self.seed;
         let mut components: Vec<Component> = Vec::new();
         let mut weights: Vec<f64> = Vec::new();
-        let add = |c: Component, w: f64, weights: &mut Vec<f64>, components: &mut Vec<Component>| {
-            if w > 0.0 {
-                components.push(c);
-                weights.push(w);
-            }
-        };
+        let add =
+            |c: Component, w: f64, weights: &mut Vec<f64>, components: &mut Vec<Component>| {
+                if w > 0.0 {
+                    components.push(c);
+                    weights.push(w);
+                }
+            };
 
         // Two stream PCs walking disjoint regions (one ascending, one descending).
-        add(stream(0x4_1000, 0x4000_0000, gap, true), self.stream * 0.6, &mut weights, &mut components);
-        add(stream(0x4_1010, 0x8000_0000, gap, false), self.stream * 0.4, &mut weights, &mut components);
+        add(
+            stream(0x4_1000, 0x4000_0000, gap, true),
+            self.stream * 0.6,
+            &mut weights,
+            &mut components,
+        );
+        add(
+            stream(0x4_1010, 0x8000_0000, gap, false),
+            self.stream * 0.4,
+            &mut weights,
+            &mut components,
+        );
         // Two stride PCs with different strides (2 lines and 5 lines).
-        add(strided(0x4_2000, 0xc000_0000, 128, gap), self.stride * 0.5, &mut weights, &mut components);
-        add(strided(0x4_2010, 0x1_0000_0000, 320, gap), self.stride * 0.5, &mut weights, &mut components);
+        add(
+            strided(0x4_2000, 0xc000_0000, 128, gap),
+            self.stride * 0.5,
+            &mut weights,
+            &mut components,
+        );
+        add(
+            strided(0x4_2010, 0x1_0000_0000, 320, gap),
+            self.stride * 0.5,
+            &mut weights,
+            &mut components,
+        );
         // A spatial PC touching a fixed footprint in every visited page.
         add(
             spatial_pages(0x4_3000, 0x14_0000, vec![0, 1, 3, 6, 10, 11], gap),
@@ -128,9 +149,9 @@ impl BlendBuilder {
     /// name so regeneration is deterministic.
     #[must_use]
     pub fn new(name: &str) -> Self {
-        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x1_0000_01b3)
-        });
+        let seed = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1_0000_01b3));
         Self {
             blend: Blend {
                 name: name.to_string(),

@@ -48,7 +48,8 @@ fn rmat_edges(seed: u64) -> Vec<u32> {
 #[must_use]
 pub fn workload(name: &str, accesses: usize) -> Workload {
     assert!(BENCHMARKS.contains(&name), "unknown Ligra kernel: {name}");
-    let seed = name.bytes().fold(0x9e37_79b9u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+    let seed =
+        name.bytes().fold(0x9e37_79b9u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
     let edges = rmat_edges(seed);
 
     // Address map: offsets array, edges array, and per-vertex data array live

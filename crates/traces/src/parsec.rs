@@ -33,11 +33,22 @@ pub fn blend(name: &str) -> Blend {
     match name {
         "blackscholes" => b.stream(0.5).resident(0.5).gap(24).finish(),
         "bodytrack" => b.stride(0.4).resident(0.4).noise(0.2).gap(20).finish(),
-        "canneal" => b.memory_intensive().chase(0.55).noise(0.35).resident(0.1).gap(8).chase_nodes(30_000).finish(),
+        "canneal" => b
+            .memory_intensive()
+            .chase(0.55)
+            .noise(0.35)
+            .resident(0.1)
+            .gap(8)
+            .chase_nodes(30_000)
+            .finish(),
         "dedup" => b.memory_intensive().spatial(0.35).noise(0.4).stride(0.25).gap(12).finish(),
-        "fluidanimate" => b.memory_intensive().stream(0.45).spatial(0.35).resident(0.2).gap(12).finish(),
+        "fluidanimate" => {
+            b.memory_intensive().stream(0.45).spatial(0.35).resident(0.2).gap(12).finish()
+        }
         "freqmine" => b.chase(0.35).resident(0.4).noise(0.25).gap(18).chase_nodes(10_000).finish(),
-        "streamcluster" => b.memory_intensive().stream(0.75).noise(0.15).resident(0.1).gap(7).finish(),
+        "streamcluster" => {
+            b.memory_intensive().stream(0.75).noise(0.15).resident(0.1).gap(7).finish()
+        }
         "swaptions" => b.resident(0.8).stride(0.2).gap(45).finish(),
         "vips" => b.stream(0.5).stride(0.3).resident(0.2).gap(16).finish(),
         _ => unreachable!("benchmark {name} is listed but has no blend"),
@@ -66,10 +77,7 @@ pub fn per_core_workloads(name: &str, accesses: usize, cores: usize) -> Vec<Work
             let records: Vec<MemoryRecord> = base
                 .records
                 .iter()
-                .map(|r| MemoryRecord {
-                    addr: Addr::new(r.addr.raw() + offset),
-                    ..*r
-                })
+                .map(|r| MemoryRecord { addr: Addr::new(r.addr.raw() + offset), ..*r })
                 .collect();
             Workload::new(format!("{name}#t{core}"), records, base.memory_intensive)
         })

@@ -63,7 +63,7 @@ pub fn spatial_pages(pc: u64, base_page: u64, offsets: Vec<u64>, gap: u32) -> Co
         let addr = (page << 12) + (offset << 6);
         let record = MemoryRecord::load(Pc::new(pc), Addr::new(addr), gap);
         idx += 1;
-        if idx % offsets.len() == 0 {
+        if idx.is_multiple_of(offsets.len()) {
             page += 1;
         }
         record
@@ -83,7 +83,8 @@ pub fn pointer_chase(pc: u64, base: u64, nodes: usize, gap: u32, seed: u64) -> C
         let j = rng.gen_range(0..=i);
         order.swap(i, j);
     }
-    let lines: Vec<u64> = (0..nodes).map(|_| (base >> 6) + rng.gen_range(0..nodes as u64 * 23)).collect();
+    let lines: Vec<u64> =
+        (0..nodes).map(|_| (base >> 6) + rng.gen_range(0..nodes as u64 * 23)).collect();
     let mut pos = 0usize;
     Box::new(move || {
         let line = lines[order[pos]];
@@ -119,7 +120,13 @@ pub fn random_noise(pc: u64, base: u64, span_bytes: u64, gap: u32, seed: u64) ->
     Box::new(move || {
         let line = (base >> 6) + rng.gen_range(0..span_lines);
         let kind = if rng.gen_bool(0.3) { AccessKind::Store } else { AccessKind::Load };
-        MemoryRecord { pc: Pc::new(pc), addr: Addr::new(line << 6), kind, gap_instructions: gap, dependent: false }
+        MemoryRecord {
+            pc: Pc::new(pc),
+            addr: Addr::new(line << 6),
+            kind,
+            gap_instructions: gap,
+            dependent: false,
+        }
     })
 }
 
@@ -229,7 +236,7 @@ mod tests {
         let addrs: Vec<u64> = (0..200).map(|_| s().addr.raw()).collect();
         let distinct: HashSet<u64> = addrs.iter().copied().collect();
         assert!(distinct.len() > 150);
-        assert!(addrs.iter().all(|&a| a >= (1 << 30) && a < (1 << 30) + (1 << 20) + 64));
+        assert!(addrs.iter().all(|&a| ((1 << 30)..(1 << 30) + (1 << 20) + 64).contains(&a)));
     }
 
     #[test]
@@ -239,7 +246,10 @@ mod tests {
         let records = interleave_weighted(vec![a, b], &[0.9, 0.1], 2_000, 42);
         assert_eq!(records.len(), 2_000);
         let from_a = records.iter().filter(|r| r.pc == Pc::new(0x1)).count();
-        assert!(from_a > 1_600 && from_a < 1_950, "~90% should come from the heavy component, got {from_a}");
+        assert!(
+            from_a > 1_600 && from_a < 1_950,
+            "~90% should come from the heavy component, got {from_a}"
+        );
     }
 
     #[test]

@@ -75,12 +75,48 @@ pub fn blend(name: &str) -> Blend {
         // Fig. 2: interleaved spatial (PC 0x30b00) and stream (PC 0x30aca).
         "GemsFDTD" => b.spatial(0.5).stream(0.35).delta(0.15).gap(8).finish(),
         // Pointer chasing / irregular integer codes.
-        "mcf" => b.chase(0.55).loop_stream(0.15).noise(0.2).stride(0.1).gap(14).chase_nodes(10_000).finish(),
-        "omnetpp" => b.chase(0.45).loop_stream(0.15).noise(0.2).resident(0.2).gap(16).chase_nodes(8_000).finish(),
-        "xalancbmk" => b.chase(0.4).loop_stream(0.1).spatial(0.2).resident(0.3).gap(16).chase_nodes(6_000).finish(),
-        "astar" => b.chase(0.35).loop_stream(0.1).stride(0.25).resident(0.3).gap(16).chase_nodes(5_000).finish(),
+        "mcf" => b
+            .chase(0.55)
+            .loop_stream(0.15)
+            .noise(0.2)
+            .stride(0.1)
+            .gap(14)
+            .chase_nodes(10_000)
+            .finish(),
+        "omnetpp" => b
+            .chase(0.45)
+            .loop_stream(0.15)
+            .noise(0.2)
+            .resident(0.2)
+            .gap(16)
+            .chase_nodes(8_000)
+            .finish(),
+        "xalancbmk" => b
+            .chase(0.4)
+            .loop_stream(0.1)
+            .spatial(0.2)
+            .resident(0.3)
+            .gap(16)
+            .chase_nodes(6_000)
+            .finish(),
+        "astar" => b
+            .chase(0.35)
+            .loop_stream(0.1)
+            .stride(0.25)
+            .resident(0.3)
+            .gap(16)
+            .chase_nodes(5_000)
+            .finish(),
         // Mixed integer codes.
-        "gcc" => b.spatial(0.3).chase(0.2).loop_stream(0.1).stride(0.15).resident(0.25).gap(16).chase_nodes(4_000).finish(),
+        "gcc" => b
+            .spatial(0.3)
+            .chase(0.2)
+            .loop_stream(0.1)
+            .stride(0.15)
+            .resident(0.25)
+            .gap(16)
+            .chase_nodes(4_000)
+            .finish(),
         "bzip2" => b.stride(0.4).resident(0.35).noise(0.25).gap(14).finish(),
         "soplex" => b.spatial(0.35).stride(0.25).loop_stream(0.1).noise(0.3).gap(12).finish(),
         "sphinx3" => b.stream(0.35).spatial(0.3).loop_stream(0.1).resident(0.25).gap(13).finish(),

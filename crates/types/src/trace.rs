@@ -76,7 +76,11 @@ pub struct Workload {
 impl Workload {
     /// Creates a workload.
     #[must_use]
-    pub fn new(name: impl Into<String>, records: Vec<MemoryRecord>, memory_intensive: bool) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        records: Vec<MemoryRecord>,
+        memory_intensive: bool,
+    ) -> Self {
         Self { name: name.into(), records, memory_intensive }
     }
 

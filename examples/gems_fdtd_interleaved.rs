@@ -59,11 +59,8 @@ fn main() {
         print!("pc {pc:#8x} ({n:5} accesses): ");
         match states {
             Some(states) => {
-                let described: Vec<String> = states
-                    .iter()
-                    .zip(&names)
-                    .map(|(s, name)| format!("{name}={s:?}"))
-                    .collect();
+                let described: Vec<String> =
+                    states.iter().zip(&names).map(|(s, name)| format!("{name}={s:?}")).collect();
                 println!("{}", described.join("  "));
             }
             None => println!("(evicted from the Allocation Table)"),

@@ -30,7 +30,11 @@ fn main() {
     for (label, kind) in [("DDR3-1600", DramKind::Ddr3_1600), ("DDR4-2400", DramKind::Ddr4_2400)] {
         println!("--- {label} ---");
         let config = SystemConfig::with_dram(8, kind);
-        let mut baseline = cpu::System::new(config.clone(), SelectionAlgorithm::NoPrefetching, CompositeKind::GsCsPmp);
+        let mut baseline = cpu::System::new(
+            config.clone(),
+            SelectionAlgorithm::NoPrefetching,
+            CompositeKind::GsCsPmp,
+        );
         let base = baseline.run(&workloads);
         let base_ipc = base.geomean_ipc().unwrap_or(1e-9);
         println!("{:12} geomean IPC {:.3}", "NoPrefetch", base_ipc);

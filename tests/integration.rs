@@ -64,7 +64,8 @@ fn alecto_reduces_prefetcher_table_pressure_versus_ipcp() {
     for name in ["GemsFDTD", "mcf", "omnetpp", "soplex"] {
         let workload = traces::spec06::workload(name, 5_000);
         ipcp_trainings += run(SelectionAlgorithm::Ipcp, &workload).cores[0].training_occurrences;
-        alecto_trainings += run(SelectionAlgorithm::Alecto, &workload).cores[0].training_occurrences;
+        alecto_trainings +=
+            run(SelectionAlgorithm::Alecto, &workload).cores[0].training_occurrences;
     }
     assert!(
         (alecto_trainings as f64) < 0.8 * ipcp_trainings as f64,

@@ -142,7 +142,7 @@ mod sandbox_props {
             let mut table = SandboxTable::new(512, 3);
             let n = lines.len().min(pcs.len());
             for i in 0..n {
-                table.filter_and_record(LineAddr::new(lines[i]), (i % 3) as usize, Pc::new(pcs[i] << 3));
+                table.filter_and_record(LineAddr::new(lines[i]), i % 3, Pc::new(pcs[i] << 3));
             }
             // A PC that was never used as a trigger cannot be confirmed
             // (the folded hash of a never-used PC value may collide, but the
