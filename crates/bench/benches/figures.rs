@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use harness::{figures, RunScale};
 
 fn bench_scale() -> RunScale {
-    RunScale { accesses: 2_000, multicore_accesses: 800 }
+    RunScale::with_accesses(2_000, 800)
 }
 
 fn fig01_table_misses(c: &mut Criterion) {
@@ -60,27 +60,27 @@ fn fig12_noncomposite(c: &mut Criterion) {
 }
 
 fn fig13_temporal(c: &mut Criterion) {
-    let scale = RunScale { accesses: 1_000, multicore_accesses: 400 };
+    let scale = RunScale::with_accesses(1_000, 400);
     c.bench_function("fig13_temporal", |b| b.iter(|| figures::fig13(&scale)));
 }
 
 fn fig14_metadata_sweep(c: &mut Criterion) {
-    let scale = RunScale { accesses: 600, multicore_accesses: 300 };
+    let scale = RunScale::with_accesses(600, 300);
     c.bench_function("fig14_metadata_sweep", |b| b.iter(|| figures::fig14(&scale)));
 }
 
 fn fig15_llc_sweep(c: &mut Criterion) {
-    let scale = RunScale { accesses: 800, multicore_accesses: 400 };
+    let scale = RunScale::with_accesses(800, 400);
     c.bench_function("fig15_llc_sweep", |b| b.iter(|| figures::fig15(&scale)));
 }
 
 fn fig16_dram_bw(c: &mut Criterion) {
-    let scale = RunScale { accesses: 800, multicore_accesses: 400 };
+    let scale = RunScale::with_accesses(800, 400);
     c.bench_function("fig16_dram_bw", |b| b.iter(|| figures::fig16(&scale)));
 }
 
 fn fig17_multicore(c: &mut Criterion) {
-    let scale = RunScale { accesses: 800, multicore_accesses: 400 };
+    let scale = RunScale::with_accesses(800, 400);
     c.bench_function("fig17_multicore", |b| b.iter(|| figures::fig17(&scale)));
 }
 

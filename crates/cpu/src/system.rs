@@ -108,6 +108,23 @@ impl System {
     }
 }
 
+// The parallel experiment engine builds a `System` from a shared
+// `&SystemConfig` on a worker thread and sends the `SystemReport` back, so
+// all three must be `Send` (and the inputs `Sync`). Asserting it here keeps
+// the whole dependency tree honest: reintroducing an `Rc`, a raw pointer or
+// a non-`Send` trait object anywhere below breaks the build, not the harness.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<System>();
+    assert_send::<SystemConfig>();
+    assert_sync::<SystemConfig>();
+    assert_send::<SystemReport>();
+    assert_sync::<SystemReport>();
+    assert_send::<Workload>();
+    assert_sync::<Workload>();
+};
+
 /// Convenience helper: run `algorithm` on a single-core system over one
 /// workload and return the report. Used heavily by the harness and tests.
 #[must_use]

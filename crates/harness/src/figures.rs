@@ -157,6 +157,7 @@ pub fn fig1(scale: &RunScale) -> Experiment {
             &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),
+            scale.jobs,
         );
         let misses = |algo: &str| -> u64 {
             grid.benchmarks
@@ -244,8 +245,10 @@ pub fn fig8(scale: &RunScale) -> Experiment {
         &main_algorithms(),
         CompositeKind::GsCsPmp,
         &SystemConfig::skylake_like(1),
+        scale.jobs,
     );
     Experiment::new("fig8", "SPEC CPU2006 speedup over no prefetching (Fig. 8)", grid.to_table())
+        .with_grid(&grid)
         .with_note("paper: Alecto beats IPCP by 8.14%, DOL by 8.04%, Bandit3 by 4.77%, Bandit6 by 3.20% (geomean)")
         .with_note("benchmarks marked * are the memory-intensive subset")
 }
@@ -258,8 +261,10 @@ pub fn fig9(scale: &RunScale) -> Experiment {
         &main_algorithms(),
         CompositeKind::GsCsPmp,
         &SystemConfig::skylake_like(1),
+        scale.jobs,
     );
     Experiment::new("fig9", "SPEC CPU2017 speedup over no prefetching (Fig. 9)", grid.to_table())
+        .with_grid(&grid)
         .with_note("paper: Alecto beats IPCP by 5.47%, DOL by 5.65%, Bandit3 by 3.67%, Bandit6 by 2.32% (geomean)")
 }
 
@@ -273,6 +278,7 @@ pub fn fig10(scale: &RunScale) -> Experiment {
         &main_algorithms(),
         CompositeKind::GsCsPmp,
         &SystemConfig::skylake_like(1),
+        scale.jobs,
     );
     let mut table = Table::new(vec![
         "algorithm",
@@ -303,7 +309,9 @@ pub fn fig10(scale: &RunScale) -> Experiment {
             format!("{:.3}", totals.coverage()),
         ]);
     }
-    Experiment::new("fig10", "Prefetcher quality metrics (Fig. 10)", table).with_note(
+    Experiment::new("fig10", "Prefetcher quality metrics (Fig. 10)", table)
+        .with_grid(&grid)
+        .with_note(
         "paper: Alecto's accuracy exceeds Bandit6 by 13.51% without losing coverage or timeliness",
     )
 }
@@ -317,12 +325,14 @@ pub fn fig11(scale: &RunScale) -> Experiment {
             &main_algorithms(),
             CompositeKind::GsBertiCplx,
             &SystemConfig::skylake_like(1),
+            scale.jobs,
         ),
         run_single_core_suite(
             &spec17_workloads(scale),
             &main_algorithms(),
             CompositeKind::GsBertiCplx,
             &SystemConfig::skylake_like(1),
+            scale.jobs,
         ),
     ]);
     let mut table = Table::new({
@@ -332,9 +342,11 @@ pub fn fig11(scale: &RunScale) -> Experiment {
     });
     table.push_row(geomean_row(&grid, "Geomean (SPEC06+17)", false));
     table.push_row(geomean_row(&grid, "Geomean-Mem", true));
-    Experiment::new("fig11", "Alternate composite GS+Berti+CPLX (Fig. 11)", table).with_note(
-        "paper: Alecto beats IPCP by 8.52%, DOL by 8.68%, Bandit3 by 5.02%, Bandit6 by 2.04%",
-    )
+    Experiment::new("fig11", "Alternate composite GS+Berti+CPLX (Fig. 11)", table)
+        .with_grid(&grid)
+        .with_note(
+            "paper: Alecto beats IPCP by 8.52%, DOL by 8.68%, Bandit3 by 5.02%, Bandit6 by 2.04%",
+        )
 }
 
 /// Fig. 12: composite prefetchers under Alecto versus the non-composite PMP
@@ -346,13 +358,23 @@ pub fn fig12(scale: &RunScale) -> Experiment {
     let config = SystemConfig::skylake_like(1);
     let mut table = Table::new(vec!["configuration", "geomean speedup"]);
     let single = |composite: CompositeKind| -> f64 {
-        let grid =
-            run_single_core_suite(&workloads, &[SelectionAlgorithm::Ipcp], composite, &config);
+        let grid = run_single_core_suite(
+            &workloads,
+            &[SelectionAlgorithm::Ipcp],
+            composite,
+            &config,
+            scale.jobs,
+        );
         grid.geomean_speedup("IPCP", false).unwrap_or(f64::NAN)
     };
     let alecto = |composite: CompositeKind| -> f64 {
-        let grid =
-            run_single_core_suite(&workloads, &[SelectionAlgorithm::Alecto], composite, &config);
+        let grid = run_single_core_suite(
+            &workloads,
+            &[SelectionAlgorithm::Alecto],
+            composite,
+            &config,
+            scale.jobs,
+        );
         grid.geomean_speedup("Alecto", false).unwrap_or(f64::NAN)
     };
     table.push_row(vec![
@@ -384,6 +406,7 @@ fn temporal_speedup(
     with_temporal: SelectionAlgorithm,
     without_temporal: SelectionAlgorithm,
     metadata_bytes: u64,
+    jobs: usize,
 ) -> f64 {
     let config = SystemConfig::skylake_like(1);
     let with_grid = run_single_core_suite(
@@ -391,9 +414,15 @@ fn temporal_speedup(
         &[with_temporal],
         CompositeKind::GsCsPmpTemporal { metadata_bytes },
         &config,
+        jobs,
     );
-    let without_grid =
-        run_single_core_suite(workloads, &[without_temporal], CompositeKind::GsCsPmp, &config);
+    let without_grid = run_single_core_suite(
+        workloads,
+        &[without_temporal],
+        CompositeKind::GsCsPmp,
+        &config,
+        jobs,
+    );
     let mut ratios = Vec::new();
     for bench in &with_grid.benchmarks {
         let with_ipc = bench.algorithms[0].report.geomean_ipc().unwrap_or(0.0);
@@ -421,7 +450,7 @@ pub fn fig13(scale: &RunScale) -> Experiment {
         ("Alecto", SelectionAlgorithm::Alecto, SelectionAlgorithm::Alecto),
     ];
     for (label, with_t, without_t) in configs {
-        let s = temporal_speedup(&workloads, with_t, without_t, metadata);
+        let s = temporal_speedup(&workloads, with_t, without_t, metadata, scale.jobs);
         table.push_row(vec![label.to_string(), format!("{s:.3}")]);
     }
     Experiment::new(
@@ -444,12 +473,14 @@ pub fn fig14(scale: &RunScale) -> Experiment {
             SelectionAlgorithm::Bandit6,
             SelectionAlgorithm::Bandit6,
             bytes,
+            scale.jobs,
         );
         let alecto = temporal_speedup(
             &workloads,
             SelectionAlgorithm::Alecto,
             SelectionAlgorithm::Alecto,
             bytes,
+            scale.jobs,
         );
         table.push_row(vec![format!("{kb}KB"), format!("{bandit:.3}"), format!("{alecto:.3}")]);
     }
@@ -472,8 +503,13 @@ pub fn fig15(scale: &RunScale) -> Experiment {
     });
     for mb in [512 * 1024u64, 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024] {
         let config = SystemConfig::with_llc_per_core(1, mb);
-        let grid =
-            run_single_core_suite(&workloads, &main_algorithms(), CompositeKind::GsCsPmp, &config);
+        let grid = run_single_core_suite(
+            &workloads,
+            &main_algorithms(),
+            CompositeKind::GsCsPmp,
+            &config,
+            scale.jobs,
+        );
         let mut row = vec![format!("{:.1} MB", mb as f64 / (1024.0 * 1024.0))];
         for algo in &grid.algorithm_labels {
             row.push(format!("{:.3}", grid.geomean_speedup(algo, false).unwrap_or(f64::NAN)));
@@ -495,8 +531,13 @@ pub fn fig16(scale: &RunScale) -> Experiment {
     });
     for (label, kind) in [("DDR3-1600", DramKind::Ddr3_1600), ("DDR4-2400", DramKind::Ddr4_2400)] {
         let config = SystemConfig::with_dram(1, kind);
-        let grid =
-            run_single_core_suite(&workloads, &main_algorithms(), CompositeKind::GsCsPmp, &config);
+        let grid = run_single_core_suite(
+            &workloads,
+            &main_algorithms(),
+            CompositeKind::GsCsPmp,
+            &config,
+            scale.jobs,
+        );
         let mut row = vec![label.to_string()];
         for algo in &grid.algorithm_labels {
             row.push(format!("{:.3}", grid.geomean_speedup(algo, false).unwrap_or(f64::NAN)));
@@ -527,6 +568,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         &algorithms,
         CompositeKind::GsCsPmp,
         &config,
+        scale.jobs,
     ));
     let spec17_mix: Vec<Workload> = traces::spec17::memory_intensive()
         .iter()
@@ -540,6 +582,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         &algorithms,
         CompositeKind::GsCsPmp,
         &config,
+        scale.jobs,
     ));
 
     // PARSEC: each core runs one thread of the same benchmark.
@@ -551,6 +594,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
             &algorithms,
             CompositeKind::GsCsPmp,
             &config,
+            scale.jobs,
         ));
     }
     // Ligra: each core runs a kernel instance over its own graph partition.
@@ -564,6 +608,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
             &algorithms,
             CompositeKind::GsCsPmp,
             &config,
+            scale.jobs,
         ));
     }
 
@@ -576,9 +621,11 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         }
         row
     });
-    Experiment::new("fig17", "Eight-core speedup over no prefetching (Fig. 17)", table).with_note(
-        "paper: Alecto beats IPCP by 10.60%, DOL by 11.52%, Bandit3 by 9.51%, Bandit6 by 7.56%",
-    )
+    Experiment::new("fig17", "Eight-core speedup over no prefetching (Fig. 17)", table)
+        .with_grid(&merged)
+        .with_note(
+            "paper: Alecto beats IPCP by 10.60%, DOL by 11.52%, Bandit3 by 9.51%, Bandit6 by 7.56%",
+        )
 }
 
 fn offset_workload(mut w: Workload, core: usize) -> Workload {
@@ -605,6 +652,7 @@ pub fn fig18(scale: &RunScale) -> Experiment {
         &[SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto],
         CompositeKind::GsCsPmp,
         &config,
+        scale.jobs,
     );
     let totals = |algo: &str| -> (Vec<(String, u64)>, f64, f64) {
         let mut by_pf: Vec<(String, u64)> = Vec::new();
@@ -671,8 +719,10 @@ pub fn fig19(scale: &RunScale) -> Experiment {
         ],
         CompositeKind::GsCsPmp,
         &SystemConfig::skylake_like(1),
+        scale.jobs,
     );
     Experiment::new("fig19", "Ablation: Alecto with fixed prefetching degree (Fig. 19)", grid.to_table())
+        .with_grid(&grid)
         .with_note("paper: Alecto_fix beats Bandit6 by 4.34%, full Alecto by 5.25% — most of the gain comes from DDRA")
 }
 
@@ -689,12 +739,14 @@ pub fn fig20(scale: &RunScale) -> Experiment {
         ],
         CompositeKind::GsCsPmp,
         &SystemConfig::skylake_like(1),
+        scale.jobs,
     );
     Experiment::new(
         "fig20",
         "IPCP+PPF vs Alecto on memory-intensive benchmarks (Fig. 20)",
         grid.to_table(),
     )
+    .with_grid(&grid)
     .with_note(
         "paper: Alecto beats IPCP+PPF_Aggressive by 18.38% and IPCP+PPF_Conservative by 14.98%",
     )
@@ -713,6 +765,7 @@ pub fn bandit_extended(scale: &RunScale) -> Experiment {
         ],
         CompositeKind::GsCsPmp,
         &SystemConfig::skylake_like(1),
+        scale.jobs,
     );
     let mut table = Table::new(vec!["algorithm", "geomean speedup", "storage (bytes)"]);
     for (algo, selector) in [
@@ -731,6 +784,7 @@ pub fn bandit_extended(scale: &RunScale) -> Experiment {
         ]);
     }
     Experiment::new("vi_h", "Extended-arm Bandit vs Bandit6 vs Alecto (§VI-H)", table)
+        .with_grid(&grid)
         .with_note("paper: the 512-arm Bandit is 0.83% below Bandit6 and 3.59% below Alecto while needing 4 KB")
 }
 
@@ -765,7 +819,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> RunScale {
-        RunScale { accesses: 600, multicore_accesses: 300 }
+        RunScale::with_accesses(600, 300)
     }
 
     #[test]
@@ -784,7 +838,7 @@ mod tests {
 
     #[test]
     fn fig19_and_fig20_run_at_tiny_scale() {
-        let scale = RunScale { accesses: 300, multicore_accesses: 200 };
+        let scale = RunScale::with_accesses(300, 200).with_jobs(2);
         let e = fig19(&scale);
         assert!(e.table.rows.iter().any(|r| r[0].starts_with("Geomean")));
         let e = fig20(&scale);
@@ -793,7 +847,7 @@ mod tests {
 
     #[test]
     fn bandit_extended_reports_storage_gap() {
-        let scale = RunScale { accesses: 300, multicore_accesses: 200 };
+        let scale = RunScale::with_accesses(300, 200);
         let e = bandit_extended(&scale);
         let ext_storage: u64 =
             e.table.cell("BanditExt", "storage (bytes)").unwrap().parse().unwrap();

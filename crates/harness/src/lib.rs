@@ -25,5 +25,5 @@ pub mod report;
 pub mod runner;
 
 pub use energy::{EnergyModel, HierarchyEnergy};
-pub use report::{Experiment, Table};
-pub use runner::{RunScale, SpeedupGrid};
+pub use report::{experiments_to_json, Experiment, GridCell, Table, JSON_SCHEMA};
+pub use runner::{effective_jobs, RunScale, SpeedupGrid};

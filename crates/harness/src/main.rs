@@ -1,23 +1,53 @@
 //! `alecto-harness` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! alecto-harness <experiment> [--accesses N] [--quick]
+//! alecto-harness <experiment> [--accesses N] [--multicore-accesses N]
+//!                [--quick] [--jobs N] [--json PATH]
 //!
 //! experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12
 //!              fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext
 //!              all quick
 //! ```
+//!
+//! Flag interaction is explicit and position-independent:
+//!
+//! 1. the scale starts at the default (or quick, for `--quick`/`quick`);
+//! 2. `--accesses N` then sets the single-core budget to `N` **and derives
+//!    the per-core multi-core budget as `max(N / 3, 100)`**, mirroring the
+//!    default scale's ratio;
+//! 3. `--multicore-accesses N` overrides that derived multi-core budget.
+//!
+//! `--jobs N` picks the worker-thread count of the parallel experiment
+//! engine (default: one per available hardware thread). It changes
+//! wall-clock only — results are byte-identical for every worker count.
+//! `--json PATH` additionally writes the machine-readable
+//! `alecto-bench-v1` report to `PATH`.
 
 use harness::figures;
+use harness::report::experiments_to_json;
 use harness::RunScale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: alecto-harness <experiment> [--accesses N] [--quick]\n\
+        "usage: alecto-harness <experiment> [--accesses N] [--multicore-accesses N] [--quick]\n\
+         \x20                  [--jobs N] [--json PATH]\n\
          experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12\n\
-                      fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext all quick"
+         \x20            fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext all quick\n\
+         flags:\n\
+         \x20 --accesses N            single-core accesses; the multi-core per-core budget\n\
+         \x20                         is derived as max(N / 3, 100) unless overridden\n\
+         \x20 --multicore-accesses N  per-core accesses for multi-core runs\n\
+         \x20 --quick                 use the reduced CI scale (same as the `quick` experiment)\n\
+         \x20 --jobs N                worker threads (N >= 1; default: available parallelism);\n\
+         \x20                         never changes results, only wall-clock\n\
+         \x20 --json PATH             also write the alecto-bench-v1 JSON report to PATH"
     );
     std::process::exit(2);
+}
+
+fn parse_flag_value<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
+    *i += 1;
+    args.get(*i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
 }
 
 fn main() {
@@ -25,30 +55,69 @@ fn main() {
     if args.is_empty() {
         usage();
     }
-    let mut scale = RunScale::default();
-    let mut accesses_override = None;
+    let mut quick = false;
+    let mut accesses_override: Option<usize> = None;
+    let mut multicore_override: Option<usize> = None;
+    let mut jobs: Option<usize> = None;
+    let mut json_path: Option<String> = None;
     let mut experiment = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => scale = RunScale::quick(),
-            "--accesses" => {
-                i += 1;
-                let n = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                accesses_override = Some(n);
+            "--quick" => quick = true,
+            "--accesses" => accesses_override = Some(parse_flag_value(&args, &mut i)),
+            "--multicore-accesses" => multicore_override = Some(parse_flag_value(&args, &mut i)),
+            "--jobs" => {
+                let n: usize = parse_flag_value(&args, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                jobs = Some(n);
             }
-            name if experiment.is_none() => experiment = Some(name.to_string()),
+            "--json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| usage());
+                // A leading dash is a forgotten path, not a file name:
+                // swallowing the next flag here would silently change the
+                // run (e.g. `--json --quick` dropping quick mode).
+                if path.starts_with('-') {
+                    usage();
+                }
+                json_path = Some(path);
+            }
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_string());
+            }
             _ => usage(),
         }
         i += 1;
     }
     let experiment = experiment.unwrap_or_else(|| usage());
-    if experiment == "quick" {
-        scale = RunScale::quick();
-    }
+
+    // Scale resolution, in documented order: preset, then --accesses (which
+    // derives the multi-core budget), then --multicore-accesses.
+    let mut scale =
+        if quick || experiment == "quick" { RunScale::quick() } else { RunScale::default() };
     if let Some(n) = accesses_override {
         scale.accesses = n;
         scale.multicore_accesses = (n / 3).max(100);
+    }
+    if let Some(n) = multicore_override {
+        scale.multicore_accesses = n;
+    }
+    if let Some(n) = jobs {
+        scale.jobs = n;
+    }
+
+    // Fail fast on an unwritable report path: a full-scale run takes
+    // minutes, and discovering the bad path only at the final write would
+    // throw the whole run away.
+    if let Some(path) = &json_path {
+        if let Err(err) = std::fs::OpenOptions::new().create(true).append(true).open(path).map(drop)
+        {
+            eprintln!("error: cannot open JSON report path {path}: {err}");
+            std::process::exit(1);
+        }
     }
 
     let experiments = match experiment.as_str() {
@@ -74,7 +143,13 @@ fn main() {
         "all" | "quick" => figures::all(&scale),
         _ => usage(),
     };
-    for e in experiments {
+    for e in &experiments {
         println!("{}", e.render());
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, experiments_to_json(&experiments)) {
+            eprintln!("error: cannot write JSON report to {path}: {err}");
+            std::process::exit(1);
+        }
     }
 }

@@ -1,5 +1,18 @@
-//! Plain-text experiment reports: a titled table of rows, rendered with
-//! aligned columns so the harness output reads like the paper's tables.
+//! Experiment reports: a titled table of rows rendered with aligned columns
+//! so the harness output reads like the paper's tables, plus a hand-rolled
+//! machine-readable JSON form (`--json`) that CI archives as `BENCH_*.json`
+//! to track performance trajectories across PRs.
+//!
+//! The JSON support is deliberately serde-free (crates.io is unreachable in
+//! this environment): [`json`] contains a minimal writer and a strict
+//! recursive-descent parser, the latter doubling as the golden-test checker.
+
+use crate::energy::EnergyModel;
+use crate::runner::SpeedupGrid;
+
+/// Version tag embedded in every JSON report so downstream tooling can
+/// detect schema changes.
+pub const JSON_SCHEMA: &str = "alecto-bench-v1";
 
 /// A simple column-aligned text table.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,10 +76,100 @@ impl Table {
         let col = self.headers.iter().position(|h| h == column)?;
         self.rows.iter().find(|r| r[0] == row_label).map(|r| r[col].as_str())
     }
+
+    fn to_json(&self) -> String {
+        let headers: Vec<String> = self.headers.iter().map(|h| json::string(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| json::array(r.iter().map(|c| json::string(c)).collect()))
+            .collect();
+        format!("{{\"headers\":{},\"rows\":{}}}", json::array(headers), json::array(rows))
+    }
+}
+
+/// One benchmark × algorithm cell of a speedup grid, flattened for the JSON
+/// report: the speedup plus the quality (accuracy/coverage, Fig. 10) and
+/// energy (Fig. 18) metrics CI tracks over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Benchmark (or mix) name.
+    pub benchmark: String,
+    /// Whether the benchmark is in the memory-intensive subset.
+    pub memory_intensive: bool,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Speedup over the no-prefetching baseline.
+    pub speedup: f64,
+    /// Geomean IPC of the run.
+    pub ipc: f64,
+    /// Geomean IPC of the no-prefetching baseline — the exact denominator
+    /// of `speedup` (`1e-9` for a degenerate baseline that retired
+    /// nothing), so `ipc / baseline_ipc` always reproduces `speedup`.
+    pub baseline_ipc: f64,
+    /// Prefetch accuracy over the run.
+    pub accuracy: f64,
+    /// Prefetch coverage over the run.
+    pub coverage: f64,
+    /// Cache-hierarchy + DRAM energy (nJ, default energy model).
+    pub hierarchy_nj: f64,
+    /// Prefetcher-table energy (nJ, default energy model).
+    pub prefetcher_nj: f64,
+}
+
+impl GridCell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"benchmark\":{},\"memory_intensive\":{},\"algorithm\":{},\"speedup\":{},\
+             \"ipc\":{},\"baseline_ipc\":{},\"accuracy\":{},\"coverage\":{},\
+             \"hierarchy_nj\":{},\"prefetcher_nj\":{}}}",
+            json::string(&self.benchmark),
+            self.memory_intensive,
+            json::string(&self.algorithm),
+            json::number(self.speedup),
+            json::number(self.ipc),
+            json::number(self.baseline_ipc),
+            json::number(self.accuracy),
+            json::number(self.coverage),
+            json::number(self.hierarchy_nj),
+            json::number(self.prefetcher_nj),
+        )
+    }
+}
+
+/// Flattens a [`SpeedupGrid`] into one [`GridCell`] per benchmark ×
+/// algorithm pair, evaluating the default [`EnergyModel`] on each report.
+#[must_use]
+pub fn grid_cells(grid: &SpeedupGrid) -> Vec<GridCell> {
+    let model = EnergyModel::default();
+    let mut cells = Vec::new();
+    for bench in &grid.benchmarks {
+        // Same fallback as the runner's speedup denominator, so the cell
+        // stays internally consistent (ipc / baseline_ipc == speedup).
+        let baseline_ipc = bench.baseline.geomean_ipc().unwrap_or(1e-9);
+        for algo in &bench.algorithms {
+            let quality = algo.report.total_quality();
+            let energy = model.evaluate(&algo.report);
+            cells.push(GridCell {
+                benchmark: bench.benchmark.clone(),
+                memory_intensive: bench.memory_intensive,
+                algorithm: algo.algorithm.clone(),
+                speedup: algo.speedup,
+                ipc: algo.report.geomean_ipc().unwrap_or(0.0),
+                baseline_ipc,
+                accuracy: quality.accuracy(),
+                coverage: quality.coverage(),
+                hierarchy_nj: energy.hierarchy_nj,
+                prefetcher_nj: energy.prefetcher_nj,
+            });
+        }
+    }
+    cells
 }
 
 /// One regenerated experiment: an id (e.g. `"fig8"`), a descriptive title,
-/// the result table, and free-form notes comparing against the paper.
+/// the result table, free-form notes comparing against the paper, and (for
+/// grid-backed experiments) the raw benchmark × algorithm cells.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     /// Short identifier matching the paper's numbering (`"fig8"`, `"table3"`).
@@ -77,19 +180,36 @@ pub struct Experiment {
     pub table: Table,
     /// Notes (e.g. the paper's headline number for the same quantity).
     pub notes: Vec<String>,
+    /// Raw grid cells, when the experiment is backed by a speedup grid
+    /// (empty for static tables like Table I).
+    pub cells: Vec<GridCell>,
 }
 
 impl Experiment {
     /// Creates an experiment report.
     #[must_use]
     pub fn new(id: &str, title: &str, table: Table) -> Self {
-        Self { id: id.to_string(), title: title.to_string(), table, notes: Vec::new() }
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            table,
+            notes: Vec::new(),
+            cells: Vec::new(),
+        }
     }
 
     /// Adds a note line.
     #[must_use]
     pub fn with_note(mut self, note: impl Into<String>) -> Self {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches the raw cells of `grid` so the JSON report carries full
+    /// per-cell metrics, not just the rendered table strings.
+    #[must_use]
+    pub fn with_grid(mut self, grid: &SpeedupGrid) -> Self {
+        self.cells.extend(grid_cells(grid));
         self
     }
 
@@ -104,10 +224,350 @@ impl Experiment {
         }
         out
     }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"title\":{},\"notes\":{},\"table\":{},\"cells\":{}}}",
+            json::string(&self.id),
+            json::string(&self.title),
+            json::array(self.notes.iter().map(|n| json::string(n)).collect()),
+            self.table.to_json(),
+            json::array(self.cells.iter().map(GridCell::to_json).collect()),
+        )
+    }
+}
+
+/// Serialises a full harness run — every experiment, in run order — into the
+/// `alecto-bench-v1` JSON document written by `alecto-harness --json`.
+#[must_use]
+pub fn experiments_to_json(experiments: &[Experiment]) -> String {
+    format!(
+        "{{\"schema\":{},\"experiments\":{}}}\n",
+        json::string(JSON_SCHEMA),
+        json::array(experiments.iter().map(Experiment::to_json).collect()),
+    )
+}
+
+pub mod json {
+    //! A minimal, dependency-free JSON writer and strict parser.
+    //!
+    //! The writer covers exactly what the report emitter needs (strings,
+    //! numbers, booleans, arrays, objects); the parser accepts any RFC
+    //! 8259 document and is used by the golden snapshot tests to verify
+    //! that emitted reports are well-formed and carry the expected cells.
+
+    /// A parsed JSON value. Object member order is preserved.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed as `f64`).
+        Number(f64),
+        /// A string (unescaped).
+        String(String),
+        /// An array.
+        Array(Vec<JsonValue>),
+        /// An object, as ordered key/value pairs.
+        Object(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        /// Looks up `key` in an object; `None` for non-objects.
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&JsonValue> {
+            match self {
+                JsonValue::Object(members) => {
+                    members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        /// The elements of an array; `None` for non-arrays.
+        #[must_use]
+        pub fn as_array(&self) -> Option<&[JsonValue]> {
+            match self {
+                JsonValue::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The numeric value; `None` for non-numbers.
+        #[must_use]
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                JsonValue::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The string value; `None` for non-strings.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean value; `None` for non-booleans.
+        #[must_use]
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// Serialises `s` as a quoted JSON string with the mandatory escapes.
+    #[must_use]
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Serialises a finite `f64`; non-finite values (which JSON cannot
+    /// represent) become `null` so consumers see them explicitly instead of
+    /// getting a corrupt document.
+    #[must_use]
+    pub fn number(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Joins pre-serialised elements into a JSON array.
+    #[must_use]
+    pub fn array(elements: Vec<String>) -> String {
+        format!("[{}]", elements.join(","))
+    }
+
+    /// Parses a complete JSON document, rejecting trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&byte) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+            Some(other) => Err(format!("unexpected byte '{}' at {}", *other as char, *pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        literal: &str,
+        value: JsonValue,
+    ) -> Result<JsonValue, String> {
+        if bytes[*pos..].starts_with(literal.as_bytes()) {
+            *pos += literal.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+
+    /// Reads the four hex digits of a `\uXXXX` escape; on entry `*pos` is at
+    /// the `u`, on exit at the last hex digit.
+    fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+        let hex =
+            bytes.get(*pos + 1..*pos + 5).ok_or_else(|| "truncated \\u escape".to_string())?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "invalid \\u escape".to_string())?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape '{hex}'"))?;
+        *pos += 4;
+        Ok(code)
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let high = parse_hex4(bytes, pos)?;
+                            let code = if (0xd800..0xdc00).contains(&high) {
+                                // A high surrogate must be followed by a
+                                // \uXXXX low surrogate; combine the pair.
+                                if bytes.get(*pos + 1..*pos + 3) != Some(br"\u") {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                0x1_0000 + ((high - 0xd800) << 10) + (low - 0xdc00)
+                            } else if (0xdc00..0xe000).contains(&high) {
+                                return Err("lone low surrogate".to_string());
+                            } else {
+                                high
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid scalar U+{code:04X}"))?,
+                            );
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                // RFC 8259: unescaped control characters are not allowed.
+                Some(&b) if b < 0x20 => {
+                    return Err(format!("unescaped control character at byte {}", *pos));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe via the chars iterator).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = rest.chars().next().expect("non-empty rest");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+        expect(bytes, pos, b'{')?;
+        let mut members = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            members.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::json::JsonValue;
     use super::*;
 
     #[test]
@@ -148,5 +608,93 @@ mod tests {
         let s = e.render();
         assert!(s.contains("fig8"));
         assert!(s.contains("note: paper"));
+    }
+
+    #[test]
+    fn json_document_round_trips_through_the_parser() {
+        let mut t = Table::new(vec!["bench", "Alecto"]);
+        t.push_row(vec!["mcf \"quoted\"", "1.23"]);
+        let e = Experiment::new("fig8", "Speedup\nover baseline", t).with_note("note with \\");
+        let doc = experiments_to_json(&[e]);
+        let parsed = json::parse(&doc).expect("emitted JSON must parse");
+        assert_eq!(parsed.get("schema").and_then(JsonValue::as_str), Some(JSON_SCHEMA));
+        let experiments = parsed.get("experiments").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(experiments.len(), 1);
+        assert_eq!(experiments[0].get("id").and_then(JsonValue::as_str), Some("fig8"));
+        assert_eq!(
+            experiments[0].get("title").and_then(JsonValue::as_str),
+            Some("Speedup\nover baseline")
+        );
+        let rows = experiments[0]
+            .get("table")
+            .and_then(|t| t.get("rows"))
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(rows[0].as_array().unwrap()[0].as_str(), Some("mcf \"quoted\""));
+    }
+
+    #[test]
+    fn json_number_maps_non_finite_to_null() {
+        assert_eq!(json::number(1.5), "1.5");
+        assert_eq!(json::number(f64::NAN), "null");
+        assert_eq!(json::number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn parser_accepts_standard_documents() {
+        let v = json::parse(r#" {"a": [1, -2.5e3, true, false, null, "xA"], "b": {}} "#).unwrap();
+        let a = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-2500.0));
+        assert_eq!(a[2].as_bool(), Some(true));
+        assert_eq!(a[5].as_str(), Some("xA"));
+        assert_eq!(v.get("b"), Some(&JsonValue::Object(vec![])));
+    }
+
+    #[test]
+    fn parser_decodes_surrogate_pairs_and_rejects_control_chars() {
+        // A valid surrogate-pair escape decodes to one scalar.
+        let v = json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1f600}"));
+        // Lone or malformed surrogates are rejected, as are raw control
+        // characters (the writer always escapes them).
+        assert!(json::parse("\"\\ud83d\"").is_err());
+        assert!(json::parse("\"\\ud83d\\u0041\"").is_err());
+        assert!(json::parse("\"\\udc00\"").is_err());
+        assert!(json::parse("\"a\nb\"").is_err());
+        assert!(json::parse(&json::string("a\nb")).unwrap().as_str() == Some("a\nb"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn grid_cells_flatten_every_pair() {
+        use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
+        let grid = crate::runner::run_single_core_suite(
+            &[traces::spec06::workload("lbm", 400)],
+            &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(1),
+            1,
+        );
+        let cells = grid_cells(&grid);
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.benchmark == "lbm" && c.speedup.is_finite()));
+        assert!(cells.iter().any(|c| c.algorithm == "Alecto"));
+        let e = Experiment::new("x", "y", Table::new(vec!["a"])).with_grid(&grid);
+        assert_eq!(e.cells.len(), 2);
+        let doc = experiments_to_json(&[e]);
+        let parsed = json::parse(&doc).unwrap();
+        let cells_json = parsed.get("experiments").and_then(JsonValue::as_array).unwrap()[0]
+            .get("cells")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(cells_json.len(), 2);
+        assert!(cells_json[0].get("speedup").and_then(JsonValue::as_f64).unwrap() > 0.0);
     }
 }

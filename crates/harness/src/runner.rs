@@ -1,25 +1,51 @@
 //! Generic experiment runner: sweeps selection algorithms over benchmark
 //! sets and collects speedups against the no-prefetching baseline, the way
 //! every speedup figure in the paper is constructed.
+//!
+//! # The parallel experiment engine
+//!
+//! Every benchmark × algorithm cell of a sweep — the baseline included — is
+//! an *independent* simulation: it builds its own [`System`] from a shared
+//! `&SystemConfig` and consumes an immutable, pre-generated workload. The
+//! engine therefore fans the cells out across a [`std::thread::scope`] worker
+//! pool (no external dependencies) and re-assembles the reports **in job
+//! order**, so the resulting [`SpeedupGrid`] is byte-identical whatever the
+//! worker count or the order in which workers finish. Determinism rests on
+//! three guarantees, each enforced elsewhere in the workspace:
+//!
+//! 1. trace generation is seeded purely by benchmark name (and an optional
+//!    job index — see [`traces::derive_seed`]), never by global state;
+//! 2. the simulator contains no iteration over hash maps whose order could
+//!    leak into results (ordered maps with explicit tie-breaks are used in
+//!    the MSHR file, the temporal prefetcher and PPF);
+//! 3. cells never share mutable state: `cpu` statically asserts that
+//!    `System` construction is `Send`-clean.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
 
 use alecto_types::{geomean, Workload};
 use cpu::{CompositeKind, SelectionAlgorithm, System, SystemConfig, SystemReport};
 
 use crate::report::Table;
 
-/// How large the generated traces are. The defaults keep a full-suite sweep
-/// tractable in a release build; the integration tests use smaller values.
+/// How large the generated traces are and how many worker threads execute
+/// the sweep. The defaults keep a full-suite sweep tractable in a release
+/// build; the integration tests use smaller values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunScale {
     /// Memory accesses per single-core workload.
     pub accesses: usize,
     /// Memory accesses per core in multi-core runs.
     pub multicore_accesses: usize,
+    /// Worker threads for the experiment engine; `0` means one per available
+    /// hardware thread. The value never changes results, only wall-clock.
+    pub jobs: usize,
 }
 
 impl Default for RunScale {
     fn default() -> Self {
-        Self { accesses: 20_000, multicore_accesses: 6_000 }
+        Self { accesses: 20_000, multicore_accesses: 6_000, jobs: 0 }
     }
 }
 
@@ -27,8 +53,86 @@ impl RunScale {
     /// A reduced scale for smoke tests and CI.
     #[must_use]
     pub const fn quick() -> Self {
-        Self { accesses: 4_000, multicore_accesses: 1_500 }
+        Self { accesses: 4_000, multicore_accesses: 1_500, jobs: 0 }
     }
+
+    /// A scale with explicit access budgets and the default (auto) worker
+    /// count — the common constructor for tests and benches.
+    #[must_use]
+    pub const fn with_accesses(accesses: usize, multicore_accesses: usize) -> Self {
+        Self { accesses, multicore_accesses, jobs: 0 }
+    }
+
+    /// Same scale with an explicit worker count.
+    #[must_use]
+    pub const fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// Resolves a requested worker count: `0` means one worker per available
+/// hardware thread (falling back to 1 if that cannot be determined).
+#[must_use]
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// One independent simulation cell: one algorithm (or the baseline) over one
+/// workload assignment under one system configuration.
+struct Job<'a> {
+    algorithm: SelectionAlgorithm,
+    composite: CompositeKind,
+    config: &'a SystemConfig,
+    workloads: &'a [Workload],
+}
+
+fn run_job(job: &Job<'_>) -> SystemReport {
+    let mut system = System::new(job.config.clone(), job.algorithm, job.composite);
+    system.run(job.workloads)
+}
+
+/// Executes `jobs` across up to `requested_workers` scoped worker threads
+/// (resolved via [`effective_jobs`]) and returns the reports **in job
+/// order**, regardless of which worker ran which job or in what order they
+/// finished. Workers pull jobs from a shared atomic counter, so long cells
+/// do not leave threads idle behind a static partition.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the cell's own panic is propagated).
+fn execute_jobs(jobs: &[Job<'_>], requested_workers: usize) -> Vec<SystemReport> {
+    let workers = effective_jobs(requested_workers).min(jobs.len()).max(1);
+    if workers == 1 {
+        return jobs.iter().map(run_job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<SystemReport>> = (0..jobs.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut completed = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(idx) else { break };
+                        completed.push((idx, run_job(job)));
+                    }
+                    completed
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, report) in handle.join().expect("experiment worker panicked") {
+                results[idx] = Some(report);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("every job executed exactly once")).collect()
 }
 
 /// Result of one benchmark under one selection algorithm.
@@ -127,41 +231,61 @@ impl SpeedupGrid {
     }
 }
 
+/// Assembles a [`BenchResult`] from a baseline report followed by one report
+/// per algorithm, in `algorithms` order.
+fn assemble_bench(
+    benchmark: &str,
+    memory_intensive: bool,
+    algorithms: &[SelectionAlgorithm],
+    reports: &mut impl Iterator<Item = SystemReport>,
+) -> BenchResult {
+    let baseline = reports.next().expect("baseline report for every benchmark");
+    let base_ipc = baseline.geomean_ipc().unwrap_or(1e-9);
+    let algo_results = algorithms
+        .iter()
+        .map(|algo| {
+            let report = reports.next().expect("one report per algorithm");
+            let ipc = report.geomean_ipc().unwrap_or(0.0);
+            AlgoResult { algorithm: algo.label().to_string(), speedup: ipc / base_ipc, report }
+        })
+        .collect();
+    BenchResult {
+        benchmark: benchmark.to_string(),
+        memory_intensive,
+        baseline,
+        algorithms: algo_results,
+    }
+}
+
 /// Runs `algorithms` (plus the implicit no-prefetching baseline) on every
-/// workload, single-core, and returns the speedup grid.
+/// workload, single-core, across `jobs` worker threads (`0` = auto), and
+/// returns the speedup grid. The grid is identical for every `jobs` value.
 #[must_use]
 pub fn run_single_core_suite(
     workloads: &[Workload],
     algorithms: &[SelectionAlgorithm],
     composite: CompositeKind,
     config: &SystemConfig,
+    jobs: usize,
 ) -> SpeedupGrid {
-    let mut benchmarks = Vec::with_capacity(workloads.len());
-    for workload in workloads {
-        let baseline = run_one(
-            config.clone(),
-            SelectionAlgorithm::NoPrefetching,
-            composite,
-            std::slice::from_ref(workload),
-        );
-        let base_ipc = baseline.geomean_ipc().unwrap_or(1e-9);
-        let mut algo_results = Vec::with_capacity(algorithms.len());
-        for &algo in algorithms {
-            let report = run_one(config.clone(), algo, composite, std::slice::from_ref(workload));
-            let ipc = report.geomean_ipc().unwrap_or(0.0);
-            algo_results.push(AlgoResult {
-                algorithm: algo.label().to_string(),
-                speedup: ipc / base_ipc,
-                report,
-            });
-        }
-        benchmarks.push(BenchResult {
-            benchmark: workload.name.clone(),
-            memory_intensive: workload.memory_intensive,
-            baseline,
-            algorithms: algo_results,
-        });
-    }
+    let cells: Vec<Job<'_>> = workloads
+        .iter()
+        .flat_map(|workload| {
+            std::iter::once(SelectionAlgorithm::NoPrefetching)
+                .chain(algorithms.iter().copied())
+                .map(move |algorithm| Job {
+                    algorithm,
+                    composite,
+                    config,
+                    workloads: std::slice::from_ref(workload),
+                })
+        })
+        .collect();
+    let mut reports = execute_jobs(&cells, jobs).into_iter();
+    let benchmarks = workloads
+        .iter()
+        .map(|w| assemble_bench(&w.name, w.memory_intensive, algorithms, &mut reports))
+        .collect();
     SpeedupGrid {
         algorithm_labels: algorithms.iter().map(|a| a.label().to_string()).collect(),
         benchmarks,
@@ -169,7 +293,8 @@ pub fn run_single_core_suite(
 }
 
 /// Runs `algorithms` (plus the baseline) on a multi-core system where core
-/// `i` executes `workloads[i % workloads.len()]`. The grid contains a single
+/// `i` executes `workloads[i % workloads.len()]`, one full-system simulation
+/// per algorithm across `jobs` worker threads. The grid contains a single
 /// "benchmark" entry named `mix_name`.
 #[must_use]
 pub fn run_multicore_mix(
@@ -178,38 +303,19 @@ pub fn run_multicore_mix(
     algorithms: &[SelectionAlgorithm],
     composite: CompositeKind,
     config: &SystemConfig,
+    jobs: usize,
 ) -> SpeedupGrid {
-    let baseline = run_one(config.clone(), SelectionAlgorithm::NoPrefetching, composite, workloads);
-    let base_ipc = baseline.geomean_ipc().unwrap_or(1e-9);
-    let mut algo_results = Vec::with_capacity(algorithms.len());
-    for &algo in algorithms {
-        let report = run_one(config.clone(), algo, composite, workloads);
-        let ipc = report.geomean_ipc().unwrap_or(0.0);
-        algo_results.push(AlgoResult {
-            algorithm: algo.label().to_string(),
-            speedup: ipc / base_ipc,
-            report,
-        });
-    }
+    let cells: Vec<Job<'_>> = std::iter::once(SelectionAlgorithm::NoPrefetching)
+        .chain(algorithms.iter().copied())
+        .map(|algorithm| Job { algorithm, composite, config, workloads })
+        .collect();
+    let mut reports = execute_jobs(&cells, jobs).into_iter();
+    let memory_intensive = workloads.iter().any(|w| w.memory_intensive);
+    let bench = assemble_bench(mix_name, memory_intensive, algorithms, &mut reports);
     SpeedupGrid {
         algorithm_labels: algorithms.iter().map(|a| a.label().to_string()).collect(),
-        benchmarks: vec![BenchResult {
-            benchmark: mix_name.to_string(),
-            memory_intensive: workloads.iter().any(|w| w.memory_intensive),
-            baseline,
-            algorithms: algo_results,
-        }],
+        benchmarks: vec![bench],
     }
-}
-
-fn run_one(
-    config: SystemConfig,
-    algorithm: SelectionAlgorithm,
-    composite: CompositeKind,
-    workloads: &[Workload],
-) -> SystemReport {
-    let mut system = System::new(config, algorithm, composite);
-    system.run(workloads)
 }
 
 /// Merges several grids that share the same algorithm labels (used to combine
@@ -244,6 +350,7 @@ mod tests {
             &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),
+            1,
         );
         assert_eq!(grid.benchmarks.len(), 2);
         assert_eq!(grid.algorithm_labels, vec!["IPCP", "Alecto"]);
@@ -254,12 +361,44 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_parallel_grids_are_identical() {
+        let workloads = tiny_workloads();
+        let algorithms = [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto];
+        let config = SystemConfig::skylake_like(1);
+        let serial =
+            run_single_core_suite(&workloads, &algorithms, CompositeKind::GsCsPmp, &config, 1);
+        let parallel =
+            run_single_core_suite(&workloads, &algorithms, CompositeKind::GsCsPmp, &config, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_count_exceeding_job_count_is_harmless() {
+        let grid = run_single_core_suite(
+            &[traces::spec06::workload("lbm", 400)],
+            &[SelectionAlgorithm::Ipcp],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(1),
+            64,
+        );
+        assert_eq!(grid.benchmarks.len(), 1);
+        assert_eq!(grid.benchmarks[0].algorithms.len(), 1);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
     fn memory_intensive_geomean_filters() {
         let grid = run_single_core_suite(
             &tiny_workloads(),
             &[SelectionAlgorithm::Ipcp],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),
+            2,
         );
         // Only lbm is memory intensive in the tiny set.
         let mem = grid.geomean_speedup("IPCP", true).unwrap();
@@ -275,9 +414,22 @@ mod tests {
             &[SelectionAlgorithm::Ipcp],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(2),
+            2,
         );
         assert_eq!(grid.benchmarks.len(), 1);
         assert_eq!(grid.benchmarks[0].baseline.cores.len(), 2);
+    }
+
+    #[test]
+    fn multicore_mix_is_deterministic_across_worker_counts() {
+        let workloads = traces::parsec::per_core_workloads("canneal", 400, 2);
+        let algorithms = [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto];
+        let config = SystemConfig::skylake_like(2);
+        let serial =
+            run_multicore_mix("mix", &workloads, &algorithms, CompositeKind::GsCsPmp, &config, 1);
+        let parallel =
+            run_multicore_mix("mix", &workloads, &algorithms, CompositeKind::GsCsPmp, &config, 3);
+        assert_eq!(serial, parallel);
     }
 
     #[test]
@@ -287,12 +439,14 @@ mod tests {
             &[SelectionAlgorithm::Ipcp],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),
+            1,
         );
         let b = run_single_core_suite(
             &[traces::spec17::workload("lbm_17", 800)],
             &[SelectionAlgorithm::Ipcp],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),
+            2,
         );
         let merged = merge_grids(vec![a, b]);
         assert_eq!(merged.benchmarks.len(), 2);
@@ -301,5 +455,6 @@ mod tests {
     #[test]
     fn scale_presets() {
         assert!(RunScale::default().accesses > RunScale::quick().accesses);
+        assert_eq!(RunScale::with_accesses(100, 50).with_jobs(2).jobs, 2);
     }
 }

@@ -46,6 +46,52 @@ fn scale_independent_experiment_renders() {
 }
 
 #[test]
+fn jobs_flag_keeps_output_byte_identical() {
+    // The worker count is a pure wall-clock knob: the full quick report —
+    // every table of every experiment — must not change by a byte.
+    let serial =
+        harness().args(["quick", "--accesses", "60", "--jobs", "1"]).output().expect("spawn");
+    let parallel =
+        harness().args(["quick", "--accesses", "60", "--jobs", "4"]).output().expect("spawn");
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(serial.stdout, parallel.stdout, "--jobs changed the report");
+}
+
+#[test]
+fn accesses_flag_derives_the_multicore_budget_explicitly() {
+    // `--accesses N` sets the multi-core per-core budget to max(N / 3, 100);
+    // for N = 90 that derivation floors at 100, so spelling the same value
+    // out with `--multicore-accesses` must reproduce the report exactly...
+    let derived = harness().args(["quick", "--accesses", "90"]).output().expect("spawn");
+    let explicit = harness()
+        .args(["quick", "--accesses", "90", "--multicore-accesses", "100"])
+        .output()
+        .expect("spawn");
+    assert!(derived.status.success() && explicit.status.success());
+    assert_eq!(derived.stdout, explicit.stdout);
+    // ...while a different override must change the multi-core figures.
+    let smaller = harness()
+        .args(["quick", "--accesses", "90", "--multicore-accesses", "40"])
+        .output()
+        .expect("spawn");
+    assert!(smaller.status.success());
+    assert_ne!(derived.stdout, smaller.stdout);
+}
+
+#[test]
+fn zero_or_malformed_jobs_exits_two_with_usage() {
+    for jobs in ["0", "many", "-1"] {
+        let output = harness().args(["quick", "--jobs", jobs]).output().expect("spawn harness");
+        assert_eq!(output.status.code(), Some(2), "--jobs {jobs} must be rejected");
+        let stderr = String::from_utf8(output.stderr).expect("utf-8 usage");
+        assert!(stderr.contains("usage: alecto-harness"));
+    }
+    // A missing value is rejected too.
+    let output = harness().args(["quick", "--jobs"]).output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
 fn unknown_experiment_exits_two_with_usage() {
     let output = harness().arg("fig99").output().expect("spawn harness");
     assert_eq!(output.status.code(), Some(2));

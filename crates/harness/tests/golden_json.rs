@@ -1,0 +1,100 @@
+//! Golden snapshot test for the machine-readable report: a `quick --json`
+//! run must emit a document that our own strict parser accepts, that names
+//! every experiment, that carries every benchmark × algorithm cell of the
+//! grid-backed figures, and whose speedups are all finite and positive.
+
+use std::process::Command;
+
+use harness::report::json::{self, JsonValue};
+use harness::JSON_SCHEMA;
+
+fn run_quick_json(extra: &[&str]) -> JsonValue {
+    let path = std::env::temp_dir().join(format!(
+        "alecto-golden-{}-{}.json",
+        std::process::id(),
+        extra.len()
+    ));
+    let output = Command::new(env!("CARGO_BIN_EXE_alecto-harness"))
+        .args(["quick", "--accesses", "60", "--json"])
+        .arg(&path)
+        .args(extra)
+        .output()
+        .expect("spawn harness");
+    assert!(output.status.success(), "quick --json failed: {:?}", output.status);
+    let text = std::fs::read_to_string(&path).expect("JSON report written");
+    let _ = std::fs::remove_file(&path);
+    json::parse(&text).expect("emitted report must parse")
+}
+
+fn experiments(doc: &JsonValue) -> &[JsonValue] {
+    doc.get("experiments").and_then(JsonValue::as_array).expect("experiments array")
+}
+
+fn experiment<'a>(doc: &'a JsonValue, id: &str) -> &'a JsonValue {
+    experiments(doc)
+        .iter()
+        .find(|e| e.get("id").and_then(JsonValue::as_str) == Some(id))
+        .unwrap_or_else(|| panic!("report is missing experiment {id}"))
+}
+
+#[test]
+fn quick_json_report_is_complete_and_well_formed() {
+    let doc = run_quick_json(&[]);
+    assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some(JSON_SCHEMA));
+
+    // Every experiment of the evaluation appears, in run order.
+    let ids: Vec<&str> =
+        experiments(&doc).iter().filter_map(|e| e.get("id").and_then(JsonValue::as_str)).collect();
+    for id in [
+        "fig1", "fig2", "table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "table3", "vi_h", "fig18", "fig19", "fig20",
+    ] {
+        assert!(ids.contains(&id), "missing {id} in {ids:?}");
+    }
+
+    // The grid-backed figures carry one cell per benchmark × algorithm pair,
+    // each with a finite, positive speedup and quality/energy metrics.
+    let main_algorithms = ["IPCP", "DOL", "Bandit3", "Bandit6", "Alecto"];
+    for (id, benchmarks) in [("fig8", 29), ("fig9", 21), ("fig17", 6)] {
+        let cells = experiment(&doc, id).get("cells").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(cells.len(), benchmarks * main_algorithms.len(), "{id}: wrong cell count");
+        let mut bench_names: Vec<&str> =
+            cells.iter().filter_map(|c| c.get("benchmark").and_then(JsonValue::as_str)).collect();
+        bench_names.sort_unstable();
+        bench_names.dedup();
+        assert_eq!(bench_names.len(), benchmarks, "{id}: benchmark set incomplete");
+        for bench in bench_names {
+            for algo in main_algorithms {
+                let cell = cells
+                    .iter()
+                    .find(|c| {
+                        c.get("benchmark").and_then(JsonValue::as_str) == Some(bench)
+                            && c.get("algorithm").and_then(JsonValue::as_str) == Some(algo)
+                    })
+                    .unwrap_or_else(|| panic!("{id}: missing cell {bench} × {algo}"));
+                let speedup = cell.get("speedup").and_then(JsonValue::as_f64).unwrap_or(f64::NAN);
+                assert!(
+                    speedup.is_finite() && speedup > 0.0,
+                    "{id}: {bench} × {algo} speedup {speedup} not finite-positive"
+                );
+                for metric in ["ipc", "baseline_ipc", "accuracy", "coverage", "hierarchy_nj"] {
+                    let v = cell.get(metric).and_then(JsonValue::as_f64);
+                    assert!(v.is_some(), "{id}: {bench} × {algo} missing {metric}");
+                }
+            }
+        }
+    }
+
+    // Static tables have a table body but no cells.
+    let table1 = experiment(&doc, "table1");
+    assert_eq!(table1.get("cells").and_then(JsonValue::as_array).map(<[_]>::len), Some(0));
+    let rows = table1.get("table").and_then(|t| t.get("rows")).and_then(JsonValue::as_array);
+    assert!(rows.is_some_and(|r| !r.is_empty()));
+}
+
+#[test]
+fn json_report_is_identical_across_worker_counts() {
+    let serial = run_quick_json(&["--jobs", "1"]);
+    let parallel = run_quick_json(&["--jobs", "4"]);
+    assert_eq!(serial, parallel, "JSON report must not depend on --jobs");
+}

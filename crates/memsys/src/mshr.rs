@@ -3,7 +3,7 @@
 //! (b) the number of outstanding misses — and therefore the exploitable
 //! memory-level parallelism — is bounded, as in Table I (16/32/64 MSHRs).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use alecto_types::{LineAddr, PrefetcherId};
 
@@ -23,10 +23,17 @@ pub struct MshrEntry {
 }
 
 /// A fixed-capacity file of outstanding misses.
+///
+/// Entries are kept in a `BTreeMap` rather than a `HashMap` on purpose:
+/// victim selection under structural hazards breaks completion-time ties by
+/// iteration order, and a hash map's order varies from process to process,
+/// which would make simulation results irreproducible. With an ordered map
+/// (plus the explicit line-address tie-breaks below) every run — serial or
+/// on a worker thread of the parallel harness — is byte-identical.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<LineAddr, MshrEntry>,
+    entries: BTreeMap<LineAddr, MshrEntry>,
 }
 
 impl MshrFile {
@@ -38,7 +45,7 @@ impl MshrFile {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        Self { capacity, entries: HashMap::with_capacity(capacity) }
+        Self { capacity, entries: BTreeMap::new() }
     }
 
     /// Maximum number of outstanding misses.
@@ -97,7 +104,7 @@ impl MshrFile {
                 self.entries
                     .values()
                     .filter(|e| e.prefetch_issuer.is_some() && !e.demand_merged)
-                    .max_by_key(|e| e.completion)
+                    .max_by_key(|e| (e.completion, e.line))
                     .map(|e| e.line)
             } else {
                 None
@@ -115,7 +122,7 @@ impl MshrFile {
                 // room; this only triggers under extreme oversubscription.
                 if self.entries.len() >= self.capacity {
                     if let Some((&victim, _)) =
-                        self.entries.iter().min_by_key(|(_, e)| e.completion)
+                        self.entries.iter().min_by_key(|(_, e)| (e.completion, e.line))
                     {
                         self.entries.remove(&victim);
                     }

@@ -1,0 +1,138 @@
+//! Property tests over the memory-system invariants the parallel experiment
+//! engine leans on: the MSHR file must bound outstanding misses and merge
+//! duplicate lines, and the cache must honour hit-after-fill and the
+//! eviction invariants, under *arbitrary* access sequences — not just the
+//! hand-picked ones of the unit tests.
+
+use alecto_types::{LineAddr, PrefetcherId, CACHE_LINE_BYTES};
+use memsys::{Cache, CacheParams, MshrFile};
+use proptest::prelude::*;
+
+/// One random MSHR operation: allocate (demand or prefetch) or a lookup.
+#[derive(Debug, Clone, Copy)]
+enum MshrOp {
+    Allocate { line: u64, latency: u64, prefetch: bool },
+    Lookup { line: u64 },
+}
+
+fn mshr_op() -> impl Strategy<Value = MshrOp> {
+    prop_oneof![
+        (0u64..32, 1u64..400, any::<bool>())
+            .prop_map(|(line, latency, prefetch)| MshrOp::Allocate { line, latency, prefetch }),
+        (0u64..32).prop_map(|line| MshrOp::Lookup { line }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mshr_occupancy_never_exceeds_capacity(
+        capacity in 1usize..16,
+        ops in proptest::collection::vec(mshr_op(), 1..120),
+    ) {
+        let mut mshr = MshrFile::new(capacity);
+        let mut now = 0;
+        for op in ops {
+            now += 3;
+            match op {
+                MshrOp::Allocate { line, latency, prefetch } => {
+                    let line = LineAddr::new(line);
+                    // Callers merge via lookup before allocating, as the
+                    // hierarchy does.
+                    if mshr.lookup(line, now).is_none() {
+                        let issuer = prefetch.then_some(PrefetcherId(0));
+                        mshr.allocate(line, now + latency, issuer, now);
+                    }
+                }
+                MshrOp::Lookup { line } => {
+                    let _ = mshr.lookup(LineAddr::new(line), now);
+                }
+            }
+            prop_assert!(
+                mshr.occupancy(now) <= capacity,
+                "occupancy {} over capacity {capacity}",
+                mshr.occupancy(now),
+            );
+        }
+    }
+
+    #[test]
+    fn mshr_merges_duplicate_lines(
+        capacity in 1usize..16,
+        line in 0u64..1_000,
+        latency in 2u64..500,
+    ) {
+        let mut mshr = MshrFile::new(capacity);
+        let line = LineAddr::new(line);
+        prop_assert!(mshr.lookup(line, 0).is_none());
+        mshr.allocate(line, latency, Some(PrefetcherId(1)), 0);
+        // While in flight, a second request to the same line must find the
+        // existing entry (and may merge into it) instead of re-allocating.
+        let in_flight = mshr.lookup(line, latency - 1);
+        prop_assert!(in_flight.is_some());
+        let entry = in_flight.expect("checked above");
+        prop_assert_eq!(entry.line, line);
+        entry.demand_merged = true;
+        prop_assert_eq!(mshr.occupancy(latency - 1), 1);
+        // After completion the entry retires and the line misses again.
+        prop_assert!(mshr.lookup(line, latency).is_none());
+    }
+
+    #[test]
+    fn cache_hits_after_fill_until_evicted(
+        ways in 1usize..8,
+        sets_log2 in 0u32..4,
+        fills in proptest::collection::vec(0u64..64, 1..80),
+        probe in 0u64..64,
+    ) {
+        let sets = 1usize << sets_log2;
+        let mut cache = Cache::new(CacheParams {
+            size_bytes: (ways * sets) as u64 * CACHE_LINE_BYTES,
+            ways,
+            latency: 4,
+            mshrs: 4,
+        });
+        let mut resident: Vec<u64> = Vec::new();
+        for line in fills {
+            let evicted = cache.fill(LineAddr::new(line), None, None, false);
+            if !resident.contains(&line) {
+                resident.push(line);
+            }
+            if let Some(victim) = evicted {
+                prop_assert!(
+                    !cache.contains(victim.line),
+                    "evicted line {victim:?} still resident",
+                );
+                resident.retain(|&l| l != victim.line.raw());
+            }
+            // Hit-after-fill: the just-filled line is always resident.
+            prop_assert!(cache.contains(LineAddr::new(line)));
+            prop_assert!(cache.demand_lookup(LineAddr::new(line), false).is_some());
+            // Eviction invariant: occupancy is bounded by the geometry and
+            // matches the model of resident lines exactly.
+            prop_assert!(cache.occupancy() <= ways * sets);
+            prop_assert_eq!(cache.occupancy(), resident.len());
+        }
+        // The cache agrees with the reference model on arbitrary probes.
+        prop_assert_eq!(cache.contains(LineAddr::new(probe)), resident.contains(&probe));
+    }
+
+    #[test]
+    fn cache_never_duplicates_a_line(
+        fills in proptest::collection::vec(0u64..16, 1..60),
+    ) {
+        let mut cache = Cache::new(CacheParams {
+            size_bytes: 4 * CACHE_LINE_BYTES,
+            ways: 2,
+            latency: 1,
+            mshrs: 2,
+        });
+        for line in fills {
+            cache.fill(LineAddr::new(line), None, None, false);
+            let mut seen: Vec<u64> = cache.resident_lines().map(|m| m.line.raw()).collect();
+            let before = seen.len();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert!(before == seen.len(), "duplicate resident lines");
+        }
+    }
+}

@@ -13,7 +13,7 @@
 //! metadata table. The experiments around Fig. 13/14 measure exactly that, so
 //! this implementation exposes its metadata-table hit/miss/eviction counts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use alecto_types::{DemandAccess, LineAddr};
 
@@ -52,8 +52,9 @@ impl TemporalConfig {
 #[derive(Debug, Clone)]
 pub struct TemporalPrefetcher {
     config: TemporalConfig,
-    /// line -> (successor line, insertion order) correlation table.
-    table: HashMap<LineAddr, (LineAddr, u64)>,
+    /// line -> (successor line, insertion order) correlation table. Ordered
+    /// so that capacity eviction is deterministic across runs and threads.
+    table: BTreeMap<LineAddr, (LineAddr, u64)>,
     /// FIFO order counter used for capacity eviction.
     insert_clock: u64,
     last_line: Option<LineAddr>,
@@ -65,7 +66,7 @@ impl TemporalPrefetcher {
     #[must_use]
     pub fn new(config: TemporalConfig) -> Self {
         Self {
-            table: HashMap::with_capacity(config.capacity_entries().min(1 << 20)),
+            table: BTreeMap::new(),
             config,
             insert_clock: 0,
             last_line: None,

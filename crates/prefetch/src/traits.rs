@@ -76,7 +76,10 @@ impl TableStats {
 /// candidate prefetch lines.
 ///
 /// The trait is object safe: composites hold `Vec<Box<dyn Prefetcher>>`.
-pub trait Prefetcher {
+/// `Send` is a supertrait so that a whole simulated system (which owns its
+/// prefetchers as trait objects) can be constructed and run on a worker
+/// thread of the parallel experiment engine.
+pub trait Prefetcher: Send {
     /// Short, stable display name (e.g. `"GS"`, `"PMP"`).
     fn name(&self) -> &'static str;
 

@@ -8,7 +8,7 @@
 //! and a conservative version and shows that pure output filtering raises
 //! accuracy but sacrifices coverage, which demand-request allocation does not.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use alecto_types::{fold_pc, DemandAccess, LineAddr, PrefetchRequest};
 use prefetch::Prefetcher;
@@ -58,7 +58,7 @@ pub struct PpfFilterSelector {
     weights: Vec<Vec<i32>>,
     /// Features of still-in-flight prefetches, keyed by line, so that outcome
     /// feedback can train the same weights the decision used.
-    pending: HashMap<LineAddr, [usize; NUM_FEATURES]>,
+    pending: BTreeMap<LineAddr, [usize; NUM_FEATURES]>,
     filtered: u64,
     passed: u64,
 }
@@ -72,7 +72,7 @@ impl PpfFilterSelector {
             config,
             aggressive,
             weights: vec![vec![0; FEATURE_TABLE_SIZE]; NUM_FEATURES],
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             filtered: 0,
             passed: 0,
         }
@@ -163,7 +163,9 @@ impl Selector for PpfFilterSelector {
             if self.sum(&features) >= self.config.filter_threshold {
                 self.pending.insert(req.line, features);
                 if self.pending.len() > 4096 {
-                    // Bound the bookkeeping; forget the arbitrary excess.
+                    // Bound the bookkeeping; the map is ordered, so dropping
+                    // the smallest line address is deterministic run-to-run
+                    // (a HashMap's "first key" would not be).
                     let key = *self.pending.keys().next().expect("non-empty map");
                     self.pending.remove(&key);
                 }

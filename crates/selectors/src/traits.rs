@@ -85,7 +85,10 @@ pub struct PrefetchOutcome {
 }
 
 /// A prefetcher selection algorithm.
-pub trait Selector {
+///
+/// `Send` is a supertrait so systems holding a boxed selector can be built
+/// and executed on worker threads of the parallel experiment engine.
+pub trait Selector: Send {
     /// Display name used in harness output (e.g. `"Bandit6"`).
     fn name(&self) -> &'static str;
 

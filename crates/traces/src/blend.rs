@@ -144,14 +144,37 @@ pub struct BlendBuilder {
     blend: Blend,
 }
 
+/// Derives the trace-generation seed for `name` and a job (or core) index.
+///
+/// Seeds are a pure function of `(name, job)` — never of global state or of
+/// how many workloads were generated before this one — so trace generation
+/// is *position-independent*: a cell of a parallel sweep regenerates exactly
+/// the same records whether it runs first, last, serially or on any worker
+/// thread. Job 0 is the canonical workload (the plain FNV-1a hash of the
+/// name, matching what [`BlendBuilder::new`] has always produced); higher
+/// job indices mix the index in through a splitmix64 round for per-core or
+/// per-shard variants that must not correlate.
+#[must_use]
+pub fn derive_seed(name: &str, job: u64) -> u64 {
+    let base = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1_0000_01b3));
+    if job == 0 {
+        return base;
+    }
+    let mut z = base ^ job.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl BlendBuilder {
     /// Creates a builder for benchmark `name`; the seed is derived from the
-    /// name so regeneration is deterministic.
+    /// name (job 0 of [`derive_seed`]) so regeneration is deterministic and
+    /// position-independent.
     #[must_use]
     pub fn new(name: &str) -> Self {
-        let seed = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1_0000_01b3));
+        let seed = derive_seed(name, 0);
         Self {
             blend: Blend {
                 name: name.to_string(),
@@ -248,6 +271,14 @@ impl BlendBuilder {
         self
     }
 
+    /// Overrides the generation seed, e.g. with [`derive_seed`]`(name, job)`
+    /// for a per-job variant of the same blend.
+    #[must_use]
+    pub const fn seed(mut self, seed: u64) -> Self {
+        self.blend.seed = seed;
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn finish(self) -> Blend {
@@ -290,6 +321,26 @@ mod tests {
     fn same_blend_is_reproducible() {
         let mk = || Blend::builder("repro").stream(0.5).chase(0.5).finish().build(300);
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn derived_seeds_are_position_independent() {
+        // Job 0 is the canonical per-name seed the builder uses.
+        assert_eq!(derive_seed("mcf", 0), Blend::builder("mcf").finish().seed);
+        // Distinct jobs decorrelate, and the mapping is a pure function.
+        assert_ne!(derive_seed("mcf", 0), derive_seed("mcf", 1));
+        assert_ne!(derive_seed("mcf", 1), derive_seed("mcf", 2));
+        assert_eq!(derive_seed("mcf", 7), derive_seed("mcf", 7));
+        // Generation order cannot matter: building B before A yields the
+        // same records as building A before B.
+        let mk = |name: &str, job: u64| {
+            Blend::builder(name).noise(1.0).seed(derive_seed(name, job)).finish().build(200)
+        };
+        let (a1, b1) = (mk("a", 3), mk("b", 3));
+        let (b2, a2) = (mk("b", 3), mk("a", 3));
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_ne!(a1.records, b1.records);
     }
 
     #[test]

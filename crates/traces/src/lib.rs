@@ -31,7 +31,7 @@ pub mod patterns;
 pub mod spec06;
 pub mod spec17;
 
-pub use blend::{Blend, BlendBuilder};
+pub use blend::{derive_seed, Blend, BlendBuilder};
 pub use patterns::{
     delta_chain, interleave_weighted, looping_stream, pointer_chase, random_noise, spatial_pages,
     stream, strided,

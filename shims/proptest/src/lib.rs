@@ -5,7 +5,8 @@
 //! the [`proptest!`] test macro, [`prop_assert!`]/[`prop_assert_eq!`],
 //! [`prop_oneof!`], [`strategy::Strategy`] with `prop_map`,
 //! [`strategy::Just`], [`arbitrary::any`], [`collection::vec`] and
-//! [`option::of`], with integer/float ranges usable as strategies.
+//! [`option::of`], with integer/float ranges and tuples of strategies
+//! usable as strategies.
 //!
 //! Differences from real proptest, by design: inputs are sampled from a
 //! deterministic per-test PRNG (no failure persistence file) and failing
@@ -170,6 +171,19 @@ pub mod strategy {
             self.options[idx].sample(rng)
         }
     }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A / 0, B / 1), (A / 0, B / 1, C / 2), (A / 0, B / 1, C / 2, D / 3),);
 
     macro_rules! impl_int_range_strategy {
         ($($ty:ty),+) => {$(

@@ -1,0 +1,79 @@
+//! Determinism lock-in for the parallel experiment engine: the `SpeedupGrid`
+//! a sweep produces must be *exactly* equal — cell by cell, report by
+//! report — whether the cells run serially (`jobs = 1`), across a worker
+//! pool, or twice in a row. This is the contract that lets `--jobs N` be a
+//! pure wall-clock knob and lets CI compare `BENCH_*.json` files across
+//! machines.
+
+use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
+use harness::runner::{run_multicore_mix, run_single_core_suite};
+use harness::SpeedupGrid;
+
+fn quick_suite(jobs: usize) -> SpeedupGrid {
+    let workloads = vec![
+        traces::spec06::workload("lbm", 800),
+        traces::spec06::workload("mcf", 800),
+        traces::spec06::workload("GemsFDTD", 800),
+        traces::spec17::workload("povray_17", 800),
+    ];
+    run_single_core_suite(
+        &workloads,
+        &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto],
+        CompositeKind::GsCsPmp,
+        &SystemConfig::skylake_like(1),
+        jobs,
+    )
+}
+
+fn assert_grids_identical(a: &SpeedupGrid, b: &SpeedupGrid) {
+    // `assert_eq!` on the whole grid would suffice, but comparing cell by
+    // cell first localises any regression to a benchmark × algorithm pair.
+    assert_eq!(a.algorithm_labels, b.algorithm_labels);
+    assert_eq!(a.benchmarks.len(), b.benchmarks.len());
+    for (ba, bb) in a.benchmarks.iter().zip(&b.benchmarks) {
+        assert_eq!(ba.benchmark, bb.benchmark);
+        assert_eq!(ba.baseline, bb.baseline, "baseline of {} diverged", ba.benchmark);
+        for (ra, rb) in ba.algorithms.iter().zip(&bb.algorithms) {
+            assert_eq!(ra.algorithm, rb.algorithm);
+            assert!(
+                ra.speedup == rb.speedup,
+                "{} × {}: {} vs {}",
+                ba.benchmark,
+                ra.algorithm,
+                ra.speedup,
+                rb.speedup
+            );
+            assert_eq!(ra.report, rb.report, "{} × {} report diverged", ba.benchmark, ra.algorithm);
+        }
+    }
+    assert_eq!(a, b);
+}
+
+#[test]
+fn serial_and_parallel_suites_are_cell_for_cell_identical() {
+    let serial = quick_suite(1);
+    let parallel = quick_suite(4);
+    assert_grids_identical(&serial, &parallel);
+}
+
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    let first = quick_suite(4);
+    let second = quick_suite(4);
+    assert_grids_identical(&first, &second);
+}
+
+#[test]
+fn multicore_mix_is_identical_across_worker_counts() {
+    let mk = |jobs: usize| {
+        run_multicore_mix(
+            "canneal-x4",
+            &traces::parsec::per_core_workloads("canneal", 500, 4),
+            &[SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(4),
+            jobs,
+        )
+    };
+    assert_grids_identical(&mk(1), &mk(3));
+}
