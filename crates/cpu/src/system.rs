@@ -3,7 +3,7 @@
 //! cores in rough lockstep so that shared-resource contention (L3, DRAM
 //! channels) is modelled faithfully.
 
-use alecto_types::Workload;
+use alecto_types::{MemoryRecord, TraceSource, Workload};
 use memsys::Hierarchy;
 use prefetch::CompositeKind;
 
@@ -61,18 +61,48 @@ impl System {
     /// Panics if `workloads` is empty.
     pub fn run(&mut self, workloads: &[Workload]) -> SystemReport {
         assert!(!workloads.is_empty(), "at least one workload is required");
-        let assigned: Vec<&Workload> =
-            (0..self.cores.len()).map(|i| &workloads[i % workloads.len()]).collect();
-        let mut positions = vec![0usize; self.cores.len()];
+        let names: Vec<&str> =
+            (0..self.cores.len()).map(|i| workloads[i % workloads.len()].name.as_str()).collect();
+        let streams: Vec<RecordStream<'_>> = (0..self.cores.len())
+            .map(|i| {
+                Box::new(workloads[i % workloads.len()].records.iter().copied()) as RecordStream<'_>
+            })
+            .collect();
+        self.drive(&names, streams)
+    }
 
-        // Advance the core with the smallest local time that still has trace
-        // left, so cores interleave their accesses to the shared levels in
-        // approximate timestamp order.
+    /// Streaming counterpart of [`System::run`]: one lazy [`TraceSource`]
+    /// per core (wrapping around like `run`), generating records on demand —
+    /// O(1) trace memory however long the run. Produces exactly the report
+    /// `run` would produce over the materialised workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty.
+    pub fn run_sources(&mut self, sources: &[TraceSource]) -> SystemReport {
+        assert!(!sources.is_empty(), "at least one workload is required");
+        let names: Vec<&str> =
+            (0..self.cores.len()).map(|i| sources[i % sources.len()].name()).collect();
+        // Each core replays its own iterator, even when several cores share
+        // one source (homogeneous mixes).
+        let streams: Vec<RecordStream<'_>> = (0..self.cores.len())
+            .map(|i| Box::new(sources[i % sources.len()].records()) as RecordStream<'_>)
+            .collect();
+        self.drive(&names, streams)
+    }
+
+    /// Advances the core with the smallest local time that still has trace
+    /// left, so cores interleave their accesses to the shared levels in
+    /// approximate timestamp order. Only one record per core is ever held in
+    /// memory — the whole point of the streaming data path.
+    fn drive(&mut self, names: &[&str], mut streams: Vec<RecordStream<'_>>) -> SystemReport {
+        let mut pending: Vec<Option<MemoryRecord>> =
+            streams.iter_mut().map(Iterator::next).collect();
         loop {
             let mut next: Option<usize> = None;
             let mut best_time = f64::INFINITY;
             for (i, core) in self.cores.iter().enumerate() {
-                if positions[i] < assigned[i].records.len() {
+                if pending[i].is_some() {
                     let t = core.current_time();
                     if t < best_time {
                         best_time = t;
@@ -81,8 +111,8 @@ impl System {
                 }
             }
             let Some(i) = next else { break };
-            let record = assigned[i].records[positions[i]];
-            positions[i] += 1;
+            let record = pending[i].take().expect("selected core has a pending record");
+            pending[i] = streams[i].next();
             self.cores[i].step(&record, &mut self.hierarchy);
         }
 
@@ -96,7 +126,7 @@ impl System {
                 .cores
                 .iter()
                 .enumerate()
-                .map(|(i, core)| core.report(&assigned[i].name, &self.hierarchy))
+                .map(|(i, core)| core.report(names[i], &self.hierarchy))
                 .collect(),
             l3: *self.hierarchy.l3_stats(),
             dram: *self.hierarchy.dram_stats(),
@@ -107,6 +137,10 @@ impl System {
         }
     }
 }
+
+/// One core's record feed during a run (borrowed from the workload slice or
+/// minted by a [`TraceSource`] factory).
+type RecordStream<'a> = Box<dyn Iterator<Item = MemoryRecord> + 'a>;
 
 // The parallel experiment engine builds a `System` from a shared
 // `&SystemConfig` on a worker thread and sends the `SystemReport` back, so
@@ -123,6 +157,8 @@ const _: () = {
     assert_sync::<SystemReport>();
     assert_send::<Workload>();
     assert_sync::<Workload>();
+    assert_send::<TraceSource>();
+    assert_sync::<TraceSource>();
 };
 
 /// Convenience helper: run `algorithm` on a single-core system over one
@@ -231,6 +267,49 @@ mod tests {
             "8-core contention should lower per-core IPC ({avg_multi} vs {})",
             single.cores[0].ipc
         );
+    }
+
+    #[test]
+    fn streamed_run_matches_materialised_run() {
+        // The same trace fed lazily (TraceSource) and eagerly (Workload)
+        // must produce byte-identical reports — single and multi core, with
+        // wrap-around assignment sharing one source between cores.
+        let mk_source =
+            |n: u64, name: &'static str| {
+                TraceSource::new(name, true, n as usize, move || {
+                    Box::new((0..n).map(|i| {
+                        MemoryRecord::load(Pc::new(0x400), Addr::new(0x40_0000 + i * 64), 6)
+                    }))
+                })
+            };
+        for cores in [1usize, 4] {
+            let sources = [mk_source(900, "s"), mk_source(500, "t")];
+            let workloads: Vec<Workload> = sources.iter().map(TraceSource::collect).collect();
+            let mut eager = System::new(
+                SystemConfig::skylake_like(cores),
+                SelectionAlgorithm::Alecto,
+                CompositeKind::GsCsPmp,
+            );
+            let mut lazy = System::new(
+                SystemConfig::skylake_like(cores),
+                SelectionAlgorithm::Alecto,
+                CompositeKind::GsCsPmp,
+            );
+            let a = eager.run(&workloads);
+            let b = lazy.run_sources(&sources);
+            assert_eq!(a, b, "streamed vs collected reports diverged at {cores} cores");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_sources_panics() {
+        let mut system = System::new(
+            SystemConfig::skylake_like(1),
+            SelectionAlgorithm::Alecto,
+            CompositeKind::GsCsPmp,
+        );
+        let _ = system.run_sources(&[]);
     }
 
     #[test]

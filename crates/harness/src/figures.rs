@@ -5,7 +5,7 @@
 //! it and EXPERIMENTS.md can record paper-vs-measured values.
 
 use alecto::{storage_breakdown, AlectoConfig};
-use alecto_types::Workload;
+use alecto_types::TraceSource;
 use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
 use memsys::DramKind;
 use prefetch::build_composite;
@@ -20,35 +20,35 @@ fn main_algorithms() -> Vec<SelectionAlgorithm> {
     SelectionAlgorithm::main_comparison().to_vec()
 }
 
-fn spec06_workloads(scale: &RunScale) -> Vec<Workload> {
-    traces::Suite::Spec06.all_workloads(scale.accesses)
+fn spec06_workloads(scale: &RunScale) -> Vec<TraceSource> {
+    traces::Suite::Spec06.all_sources(scale.accesses)
 }
 
-fn spec17_workloads(scale: &RunScale) -> Vec<Workload> {
-    traces::Suite::Spec17.all_workloads(scale.accesses)
+fn spec17_workloads(scale: &RunScale) -> Vec<TraceSource> {
+    traces::Suite::Spec17.all_sources(scale.accesses)
 }
 
-fn memory_intensive_workloads(scale: &RunScale) -> Vec<Workload> {
-    let mut v: Vec<Workload> = traces::spec06::memory_intensive()
+fn memory_intensive_workloads(scale: &RunScale) -> Vec<TraceSource> {
+    let mut v: Vec<TraceSource> = traces::spec06::memory_intensive()
         .iter()
-        .map(|n| traces::spec06::workload(n, scale.accesses))
+        .map(|n| traces::spec06::source(n, scale.accesses))
         .collect();
     v.extend(
         traces::spec17::memory_intensive()
             .iter()
-            .map(|n| traces::spec17::workload(n, scale.accesses)),
+            .map(|n| traces::spec17::source(n, scale.accesses)),
     );
     v
 }
 
 /// Benchmarks with temporal patterns used by Fig. 13/14 ("representative
 /// benchmarks that exhibit temporal patterns").
-fn temporal_benchmarks(scale: &RunScale) -> Vec<Workload> {
+fn temporal_benchmarks(scale: &RunScale) -> Vec<TraceSource> {
     // The temporal experiments need traces long enough for the pointer-chase
     // working sets to recur several times, hence the larger access budget.
     ["astar", "gcc", "mcf", "omnetpp", "soplex", "sphinx3", "xalancbmk"]
         .iter()
-        .map(|n| traces::spec06::workload(n, scale.accesses * 4))
+        .map(|n| traces::spec06::source(n, scale.accesses * 4))
         .collect()
 }
 
@@ -353,7 +353,7 @@ pub fn fig11(scale: &RunScale) -> Experiment {
 /// and Berti prefetchers.
 #[must_use]
 pub fn fig12(scale: &RunScale) -> Experiment {
-    let workloads: Vec<Workload> =
+    let workloads: Vec<TraceSource> =
         spec06_workloads(scale).into_iter().chain(spec17_workloads(scale)).collect();
     let config = SystemConfig::skylake_like(1);
     let mut table = Table::new(vec!["configuration", "geomean speedup"]);
@@ -402,7 +402,7 @@ pub fn fig12(scale: &RunScale) -> Experiment {
 // ---------------------------------------------------------------------------
 
 fn temporal_speedup(
-    workloads: &[Workload],
+    workloads: &[TraceSource],
     with_temporal: SelectionAlgorithm,
     without_temporal: SelectionAlgorithm,
     metadata_bytes: u64,
@@ -556,11 +556,11 @@ pub fn fig17(scale: &RunScale) -> Experiment {
     let mut grids = Vec::new();
 
     // Heterogeneous SPEC06 and SPEC17 mixes over the memory-intensive subset.
-    let spec06_mix: Vec<Workload> = traces::spec06::memory_intensive()
+    let spec06_mix: Vec<TraceSource> = traces::spec06::memory_intensive()
         .iter()
         .take(8)
         .enumerate()
-        .map(|(i, n)| offset_workload(traces::spec06::workload(n, scale.multicore_accesses), i))
+        .map(|(i, n)| offset_source(traces::spec06::source(n, scale.multicore_accesses), i))
         .collect();
     grids.push(run_multicore_mix(
         "SPEC06-mix",
@@ -570,11 +570,11 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         &config,
         scale.jobs,
     ));
-    let spec17_mix: Vec<Workload> = traces::spec17::memory_intensive()
+    let spec17_mix: Vec<TraceSource> = traces::spec17::memory_intensive()
         .iter()
         .take(8)
         .enumerate()
-        .map(|(i, n)| offset_workload(traces::spec17::workload(n, scale.multicore_accesses), i))
+        .map(|(i, n)| offset_source(traces::spec17::source(n, scale.multicore_accesses), i))
         .collect();
     grids.push(run_multicore_mix(
         "SPEC17-mix",
@@ -587,7 +587,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
 
     // PARSEC: each core runs one thread of the same benchmark.
     for bench in ["canneal", "streamcluster"] {
-        let per_core = traces::parsec::per_core_workloads(bench, scale.multicore_accesses, 8);
+        let per_core = traces::parsec::per_core_sources(bench, scale.multicore_accesses, 8);
         grids.push(run_multicore_mix(
             &format!("PARSEC-{bench}"),
             &per_core,
@@ -599,8 +599,8 @@ pub fn fig17(scale: &RunScale) -> Experiment {
     }
     // Ligra: each core runs a kernel instance over its own graph partition.
     for kernel in ["BFS", "PageRank"] {
-        let per_core: Vec<Workload> = (0..8)
-            .map(|i| offset_workload(traces::ligra::workload(kernel, scale.multicore_accesses), i))
+        let per_core: Vec<TraceSource> = (0..8)
+            .map(|i| offset_source(traces::ligra::source(kernel, scale.multicore_accesses), i))
             .collect();
         grids.push(run_multicore_mix(
             &format!("Ligra-{kernel}"),
@@ -628,13 +628,10 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         )
 }
 
-fn offset_workload(mut w: Workload, core: usize) -> Workload {
-    // Give each core its own address-space slice (SPEC-rate style).
-    let offset = (core as u64) << 40;
-    for r in &mut w.records {
-        r.addr = alecto_types::Addr::new(r.addr.raw() + offset);
-    }
-    w
+fn offset_source(source: TraceSource, core: usize) -> TraceSource {
+    // Give each core its own address-space slice (SPEC-rate style), applied
+    // lazily on the record stream.
+    source.with_addr_offset((core as u64) << 40)
 }
 
 // ---------------------------------------------------------------------------
@@ -788,6 +785,57 @@ pub fn bandit_extended(scale: &RunScale) -> Experiment {
         .with_note("paper: the 512-arm Bandit is 0.83% below Bandit6 and 3.59% below Alecto while needing 4 KB")
 }
 
+// ---------------------------------------------------------------------------
+// Beyond the paper: the stress sweep over the production scenario families
+// ---------------------------------------------------------------------------
+
+/// The `stress` experiment: a long-horizon sweep over the three
+/// production-scenario families (pointer chasing, Zipfian web serving,
+/// database scan/join) plus a paper anchor (`mcf`), at 1×, 2× and 4× the
+/// configured access budget. Every cell streams its trace, so the sweep's
+/// memory footprint is flat however large `--accesses` gets — which is the
+/// property that lets CI track speedup stability versus run length.
+#[must_use]
+pub fn stress(scale: &RunScale) -> Experiment {
+    let algorithms =
+        [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto];
+    let config = SystemConfig::skylake_like(1);
+    let mut grids = Vec::new();
+    for mult in [1usize, 2, 4] {
+        let accesses = scale.accesses.saturating_mul(mult);
+        let sources: Vec<TraceSource> = [
+            traces::gc::source("linked-list", accesses),
+            traces::web::source("web-cache", accesses),
+            traces::db::source("hash-join", accesses),
+            traces::spec06::source("mcf", accesses),
+        ]
+        .into_iter()
+        .map(|s| {
+            let name = format!("{}@{}x", s.name(), mult);
+            s.with_name(name)
+        })
+        .collect();
+        grids.push(run_single_core_suite(
+            &sources,
+            &algorithms,
+            CompositeKind::GsCsPmp,
+            &config,
+            scale.jobs,
+        ));
+    }
+    let merged = merge_grids(grids);
+    Experiment::new(
+        "stress",
+        "Access-count stress sweep over the scenario families (1x/2x/4x budget)",
+        merged.to_table(),
+    )
+    .with_grid(&merged)
+    .with_note("traces are streamed: memory stays O(1) in the access budget at every multiplier")
+    .with_note(
+        "families: pointer chasing (linked-list), Zipfian web serving (web-cache), database join (hash-join), paper anchor (mcf)",
+    )
+}
+
 /// Every experiment, in paper order (used by `alecto-harness all`).
 #[must_use]
 pub fn all(scale: &RunScale) -> Vec<Experiment> {
@@ -811,6 +859,7 @@ pub fn all(scale: &RunScale) -> Vec<Experiment> {
         fig18(scale),
         fig19(scale),
         fig20(scale),
+        stress(scale),
     ]
 }
 
@@ -843,6 +892,23 @@ mod tests {
         assert!(e.table.rows.iter().any(|r| r[0].starts_with("Geomean")));
         let e = fig20(&scale);
         assert!(e.render().contains("Alecto"));
+    }
+
+    #[test]
+    fn stress_sweeps_every_family_at_every_multiplier() {
+        let scale = RunScale::with_accesses(300, 150).with_jobs(2);
+        let e = stress(&scale);
+        for bench in ["linked-list", "web-cache", "hash-join", "mcf"] {
+            for mult in ["1x", "2x", "4x"] {
+                let row = format!("{bench}@{mult}");
+                assert!(
+                    e.table.rows.iter().any(|r| r[0].starts_with(&row)),
+                    "stress table is missing {row}"
+                );
+            }
+        }
+        // Grid cells are exported for the JSON report.
+        assert!(!e.cells.is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12
 //!              fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext
-//!              all quick
+//!              stress all quick
 //! ```
 //!
 //! Flag interaction is explicit and position-independent:
@@ -32,7 +32,8 @@ fn usage() -> ! {
         "usage: alecto-harness <experiment> [--accesses N] [--multicore-accesses N] [--quick]\n\
          \x20                  [--jobs N] [--json PATH]\n\
          experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12\n\
-         \x20            fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext all quick\n\
+         \x20            fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext\n\
+         \x20            stress all quick\n\
          flags:\n\
          \x20 --accesses N            single-core accesses; the multi-core per-core budget\n\
          \x20                         is derived as max(N / 3, 100) unless overridden\n\
@@ -40,7 +41,8 @@ fn usage() -> ! {
          \x20 --quick                 use the reduced CI scale (same as the `quick` experiment)\n\
          \x20 --jobs N                worker threads (N >= 1; default: available parallelism);\n\
          \x20                         never changes results, only wall-clock\n\
-         \x20 --json PATH             also write the alecto-bench-v1 JSON report to PATH"
+         \x20 --json PATH             also write the alecto-bench-v1 JSON report to PATH\n\
+         \x20                         (the path must be creatable — checked up front)"
     );
     std::process::exit(2);
 }
@@ -111,12 +113,14 @@ fn main() {
 
     // Fail fast on an unwritable report path: a full-scale run takes
     // minutes, and discovering the bad path only at the final write would
-    // throw the whole run away.
+    // throw the whole run away. A bad path is a flag error like any other
+    // (missing parent directory, permission, ...), so it exits 2 with the
+    // usage text rather than surfacing a raw io error.
     if let Some(path) = &json_path {
         if let Err(err) = std::fs::OpenOptions::new().create(true).append(true).open(path).map(drop)
         {
-            eprintln!("error: cannot open JSON report path {path}: {err}");
-            std::process::exit(1);
+            eprintln!("error: --json {path}: {err}");
+            usage();
         }
     }
 
@@ -140,6 +144,7 @@ fn main() {
         "fig19" => vec![figures::fig19(&scale)],
         "fig20" => vec![figures::fig20(&scale)],
         "bandit-ext" | "vi_h" => vec![figures::bandit_extended(&scale)],
+        "stress" => vec![figures::stress(&scale)],
         "all" | "quick" => figures::all(&scale),
         _ => usage(),
     };

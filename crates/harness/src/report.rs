@@ -676,7 +676,7 @@ mod tests {
     fn grid_cells_flatten_every_pair() {
         use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
         let grid = crate::runner::run_single_core_suite(
-            &[traces::spec06::workload("lbm", 400)],
+            &[traces::spec06::source("lbm", 400)],
             &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),

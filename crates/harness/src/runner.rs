@@ -6,12 +6,14 @@
 //!
 //! Every benchmark × algorithm cell of a sweep — the baseline included — is
 //! an *independent* simulation: it builds its own [`System`] from a shared
-//! `&SystemConfig` and consumes an immutable, pre-generated workload. The
-//! engine therefore fans the cells out across a [`std::thread::scope`] worker
-//! pool (no external dependencies) and re-assembles the reports **in job
-//! order**, so the resulting [`SpeedupGrid`] is byte-identical whatever the
-//! worker count or the order in which workers finish. Determinism rests on
-//! three guarantees, each enforced elsewhere in the workspace:
+//! `&SystemConfig` and streams its records from a shared, immutable
+//! [`TraceSource`] (each cell replays its own lazy iterator, so traces are
+//! never materialised — a 10-million-access sweep holds one record per core
+//! in memory). The engine fans the cells out across a [`std::thread::scope`]
+//! worker pool (no external dependencies) and re-assembles the reports **in
+//! job order**, so the resulting [`SpeedupGrid`] is byte-identical whatever
+//! the worker count or the order in which workers finish. Determinism rests
+//! on three guarantees, each enforced elsewhere in the workspace:
 //!
 //! 1. trace generation is seeded purely by benchmark name (and an optional
 //!    job index — see [`traces::derive_seed`]), never by global state;
@@ -24,7 +26,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-use alecto_types::{geomean, Workload};
+use alecto_types::{geomean, TraceSource};
 use cpu::{CompositeKind, SelectionAlgorithm, System, SystemConfig, SystemReport};
 
 use crate::report::Table;
@@ -83,17 +85,19 @@ pub fn effective_jobs(requested: usize) -> usize {
 }
 
 /// One independent simulation cell: one algorithm (or the baseline) over one
-/// workload assignment under one system configuration.
+/// trace-source assignment under one system configuration. Sources are lazy:
+/// the cell regenerates its records on its worker thread, so a sweep's
+/// memory footprint is O(cells in flight), never O(trace length).
 struct Job<'a> {
     algorithm: SelectionAlgorithm,
     composite: CompositeKind,
     config: &'a SystemConfig,
-    workloads: &'a [Workload],
+    sources: &'a [TraceSource],
 }
 
 fn run_job(job: &Job<'_>) -> SystemReport {
     let mut system = System::new(job.config.clone(), job.algorithm, job.composite);
-    system.run(job.workloads)
+    system.run_sources(job.sources)
 }
 
 /// Executes `jobs` across up to `requested_workers` scoped worker threads
@@ -258,33 +262,35 @@ fn assemble_bench(
 }
 
 /// Runs `algorithms` (plus the implicit no-prefetching baseline) on every
-/// workload, single-core, across `jobs` worker threads (`0` = auto), and
+/// trace source, single-core, across `jobs` worker threads (`0` = auto), and
 /// returns the speedup grid. The grid is identical for every `jobs` value.
+/// Sources stream: however large the access budget, no cell ever
+/// materialises its trace.
 #[must_use]
 pub fn run_single_core_suite(
-    workloads: &[Workload],
+    sources: &[TraceSource],
     algorithms: &[SelectionAlgorithm],
     composite: CompositeKind,
     config: &SystemConfig,
     jobs: usize,
 ) -> SpeedupGrid {
-    let cells: Vec<Job<'_>> = workloads
+    let cells: Vec<Job<'_>> = sources
         .iter()
-        .flat_map(|workload| {
+        .flat_map(|source| {
             std::iter::once(SelectionAlgorithm::NoPrefetching)
                 .chain(algorithms.iter().copied())
                 .map(move |algorithm| Job {
                     algorithm,
                     composite,
                     config,
-                    workloads: std::slice::from_ref(workload),
+                    sources: std::slice::from_ref(source),
                 })
         })
         .collect();
     let mut reports = execute_jobs(&cells, jobs).into_iter();
-    let benchmarks = workloads
+    let benchmarks = sources
         .iter()
-        .map(|w| assemble_bench(&w.name, w.memory_intensive, algorithms, &mut reports))
+        .map(|s| assemble_bench(s.name(), s.memory_intensive(), algorithms, &mut reports))
         .collect();
     SpeedupGrid {
         algorithm_labels: algorithms.iter().map(|a| a.label().to_string()).collect(),
@@ -293,13 +299,13 @@ pub fn run_single_core_suite(
 }
 
 /// Runs `algorithms` (plus the baseline) on a multi-core system where core
-/// `i` executes `workloads[i % workloads.len()]`, one full-system simulation
-/// per algorithm across `jobs` worker threads. The grid contains a single
+/// `i` streams `sources[i % sources.len()]`, one full-system simulation per
+/// algorithm across `jobs` worker threads. The grid contains a single
 /// "benchmark" entry named `mix_name`.
 #[must_use]
 pub fn run_multicore_mix(
     mix_name: &str,
-    workloads: &[Workload],
+    sources: &[TraceSource],
     algorithms: &[SelectionAlgorithm],
     composite: CompositeKind,
     config: &SystemConfig,
@@ -307,10 +313,10 @@ pub fn run_multicore_mix(
 ) -> SpeedupGrid {
     let cells: Vec<Job<'_>> = std::iter::once(SelectionAlgorithm::NoPrefetching)
         .chain(algorithms.iter().copied())
-        .map(|algorithm| Job { algorithm, composite, config, workloads })
+        .map(|algorithm| Job { algorithm, composite, config, sources })
         .collect();
     let mut reports = execute_jobs(&cells, jobs).into_iter();
-    let memory_intensive = workloads.iter().any(|w| w.memory_intensive);
+    let memory_intensive = sources.iter().any(TraceSource::memory_intensive);
     let bench = assemble_bench(mix_name, memory_intensive, algorithms, &mut reports);
     SpeedupGrid {
         algorithm_labels: algorithms.iter().map(|a| a.label().to_string()).collect(),
@@ -339,8 +345,8 @@ pub fn merge_grids(grids: Vec<SpeedupGrid>) -> SpeedupGrid {
 mod tests {
     use super::*;
 
-    fn tiny_workloads() -> Vec<Workload> {
-        vec![traces::spec06::workload("lbm", 1_500), traces::spec06::workload("povray", 1_500)]
+    fn tiny_workloads() -> Vec<TraceSource> {
+        vec![traces::spec06::source("lbm", 1_500), traces::spec06::source("povray", 1_500)]
     }
 
     #[test]
@@ -375,7 +381,7 @@ mod tests {
     #[test]
     fn worker_count_exceeding_job_count_is_harmless() {
         let grid = run_single_core_suite(
-            &[traces::spec06::workload("lbm", 400)],
+            &[traces::spec06::source("lbm", 400)],
             &[SelectionAlgorithm::Ipcp],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),
@@ -410,7 +416,7 @@ mod tests {
     fn multicore_mix_produces_single_entry() {
         let grid = run_multicore_mix(
             "homog-lbm",
-            &traces::parsec::per_core_workloads("streamcluster", 600, 2),
+            &traces::parsec::per_core_sources("streamcluster", 600, 2),
             &[SelectionAlgorithm::Ipcp],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(2),
@@ -422,7 +428,7 @@ mod tests {
 
     #[test]
     fn multicore_mix_is_deterministic_across_worker_counts() {
-        let workloads = traces::parsec::per_core_workloads("canneal", 400, 2);
+        let workloads = traces::parsec::per_core_sources("canneal", 400, 2);
         let algorithms = [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto];
         let config = SystemConfig::skylake_like(2);
         let serial =
@@ -435,14 +441,14 @@ mod tests {
     #[test]
     fn merge_concatenates_benchmarks() {
         let a = run_single_core_suite(
-            &[traces::spec06::workload("lbm", 800)],
+            &[traces::spec06::source("lbm", 800)],
             &[SelectionAlgorithm::Ipcp],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),
             1,
         );
         let b = run_single_core_suite(
-            &[traces::spec17::workload("lbm_17", 800)],
+            &[traces::spec17::source("lbm_17", 800)],
             &[SelectionAlgorithm::Ipcp],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(1),

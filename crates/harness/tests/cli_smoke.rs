@@ -92,6 +92,35 @@ fn zero_or_malformed_jobs_exits_two_with_usage() {
 }
 
 #[test]
+fn unwritable_json_path_exits_two_with_usage() {
+    // A bad --json path (missing parent directory) is a flag error like any
+    // other: exit 2 with the usage text, not a raw io error with exit 1 —
+    // and it must fail *before* the experiments run, not after minutes.
+    let output = harness()
+        .args(["quick", "--accesses", "60", "--json", "/nonexistent-dir-xyz/report.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2), "bad --json path must exit 2");
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 usage");
+    assert!(stderr.contains("error: --json"), "error names the flag:\n{stderr}");
+    assert!(stderr.contains("usage: alecto-harness"), "usage follows:\n{stderr}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(stdout.is_empty(), "no experiment may run before the path check:\n{stdout}");
+}
+
+#[test]
+fn stress_experiment_sweeps_access_counts() {
+    let output =
+        harness().args(["stress", "--accesses", "200", "--jobs", "2"]).output().expect("spawn");
+    assert!(output.status.success(), "stress must exit 0, got {:?}", output.status);
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 report");
+    assert!(stdout.contains("== stress "), "missing stress header:\n{stdout}");
+    for row in ["linked-list@1x", "web-cache@2x", "hash-join@4x", "mcf@4x"] {
+        assert!(stdout.contains(row), "stress table is missing {row}:\n{stdout}");
+    }
+}
+
+#[test]
 fn unknown_experiment_exits_two_with_usage() {
     let output = harness().arg("fig99").output().expect("spawn harness");
     assert_eq!(output.status.code(), Some(2));

@@ -32,19 +32,47 @@ pub struct CacheParams {
 }
 
 impl CacheParams {
+    /// Checks that the geometry is simulable, in particular that it yields a
+    /// **power-of-two** number of sets: the set index is computed as
+    /// `line & (num_sets - 1)`, and with a non-power-of-two count that mask
+    /// would silently alias most sets away (e.g. 3 sets would only ever use
+    /// sets 0–1 … and the "missing" capacity would distort every miss-rate
+    /// figure). Configurations that fail this check must be rejected, not
+    /// rounded, so sweep scripts cannot quietly simulate a different cache
+    /// than they asked for.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 {
+            return Err("cache must have at least one way".to_string());
+        }
+        let lines = self.size_bytes / alecto_types::CACHE_LINE_BYTES;
+        let sets = lines as usize / self.ways;
+        if sets == 0 {
+            return Err("cache must have at least one set".to_string());
+        }
+        if !sets.is_power_of_two() {
+            return Err(format!(
+                "number of sets must be a power of two, got {sets} \
+                 ({} B / 64 B lines / {} ways): the set-index mask would alias sets",
+                self.size_bytes, self.ways
+            ));
+        }
+        Ok(())
+    }
+
     /// Number of sets implied by size, 64 B lines and associativity.
     ///
     /// # Panics
     ///
     /// Panics if the configuration does not yield a power-of-two, non-zero
-    /// number of sets.
+    /// number of sets (see [`CacheParams::validate`]).
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        let lines = self.size_bytes / alecto_types::CACHE_LINE_BYTES;
-        let sets = lines as usize / self.ways;
-        assert!(sets > 0, "cache must have at least one set");
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two, got {sets}");
-        sets
+        self.validate().unwrap_or_else(|e| panic!("{e}"));
+        (self.size_bytes / alecto_types::CACHE_LINE_BYTES) as usize / self.ways
     }
 
     /// Table I: 32 KB, 8-way L1 data cache, 4-cycle round trip, 16 MSHRs.
@@ -177,6 +205,24 @@ pub struct HierarchyParams {
 }
 
 impl HierarchyParams {
+    /// Validates every cache level of the hierarchy (see
+    /// [`CacheParams::validate`]) plus the core count, so a bad sweep
+    /// configuration fails with one message naming the level instead of a
+    /// panic deep inside `Cache::new`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid level.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("at least one core required".to_string());
+        }
+        for (label, level) in [("L1D", &self.l1d), ("L2", &self.l2), ("L3", &self.l3)] {
+            level.validate().map_err(|e| format!("{label}: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// The Skylake-like configuration of Table I for `cores` cores with
     /// DDR4-2400 memory.
     ///
@@ -272,6 +318,45 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_panics() {
         let _ = HierarchyParams::skylake_like(0);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_are_rejected() {
+        // 3 sets × 1 way × 64 B: the mask `line & 2` would alias set 2 away.
+        let bad = CacheParams { size_bytes: 3 * 64, ways: 1, latency: 1, mshrs: 1 };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("power of two"), "unexpected message: {err}");
+        assert!(err.contains("alias"), "the error must explain the mask aliasing: {err}");
+        // Degenerate geometries are caught too.
+        assert!(CacheParams { size_bytes: 0, ways: 1, latency: 1, mshrs: 1 }
+            .validate()
+            .unwrap_err()
+            .contains("at least one set"));
+        assert!(CacheParams { size_bytes: 64, ways: 0, latency: 1, mshrs: 1 }
+            .validate()
+            .unwrap_err()
+            .contains("at least one way"));
+        // All Table I presets pass.
+        for good in
+            [CacheParams::l1d_default(), CacheParams::l2_default(), CacheParams::l3_default(8)]
+        {
+            assert!(good.validate().is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panic_at_construction() {
+        let _ = CacheParams { size_bytes: 3 * 64, ways: 1, latency: 1, mshrs: 1 }.num_sets();
+    }
+
+    #[test]
+    fn hierarchy_validation_names_the_level() {
+        let mut h = HierarchyParams::skylake_like(1);
+        h.l2.size_bytes = 3 * 64 * 8; // 3 sets at 8 ways
+        let err = h.validate().unwrap_err();
+        assert!(err.starts_with("L2:"), "level must be named: {err}");
+        assert!(HierarchyParams::skylake_like(8).validate().is_ok());
     }
 
     #[test]

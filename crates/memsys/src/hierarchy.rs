@@ -106,8 +106,16 @@ pub struct Hierarchy {
 
 impl Hierarchy {
     /// Builds an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid — most importantly when a
+    /// level's geometry does not yield a power-of-two set count, which the
+    /// set-index mask silently requires (see
+    /// [`crate::CacheParams::validate`]).
     #[must_use]
     pub fn new(params: HierarchyParams) -> Self {
+        params.validate().unwrap_or_else(|e| panic!("invalid hierarchy configuration: {e}"));
         let cores = (0..params.cores)
             .map(|_| CorePrivate {
                 l1d: Cache::new(params.l1d),

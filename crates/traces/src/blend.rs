@@ -1,11 +1,11 @@
 //! Benchmark blends: a declarative description of how much of each access
 //! pattern a benchmark exhibits, turned into a concrete trace.
 
-use alecto_types::Workload;
+use alecto_types::{TraceSource, Workload};
 
 use crate::patterns::{
-    delta_chain, interleave_weighted, looping_stream, pointer_chase, random_noise, spatial_pages,
-    stream, strided, Component,
+    delta_chain, interleave_weighted, interleave_weighted_iter, looping_stream, pointer_chase,
+    random_noise, spatial_pages, stream, strided, zipfian, Component,
 };
 
 /// Pattern mixture and intensity of one benchmark.
@@ -32,10 +32,18 @@ pub struct Blend {
     pub resident: f64,
     /// Weight of unpredictable far-spread noise components.
     pub noise: f64,
+    /// Weight of power-law (Zipfian) object accesses — the web-serving /
+    /// key-value-store request mix: heavily recurring hot objects with an
+    /// unpredictable long tail.
+    pub zipf: f64,
     /// Average non-memory instructions between accesses (memory intensity).
     pub gap: u32,
     /// Number of nodes in the pointer-chase working set.
     pub chase_nodes: usize,
+    /// Number of objects in the Zipfian working set.
+    pub zipf_objects: usize,
+    /// Skew of the Zipfian distribution (`theta`; web traces are ~0.99).
+    pub zipf_theta: f64,
     /// Random seed (derived from the name by default).
     pub seed: u64,
 }
@@ -48,8 +56,33 @@ impl Blend {
     }
 
     /// Materialises the blend into a trace of `accesses` memory accesses.
+    ///
+    /// This is the *legacy eager* path (O(accesses) memory); long-horizon
+    /// runs should prefer [`Blend::source`], which generates the identical
+    /// records lazily.
     #[must_use]
     pub fn build(&self, accesses: usize) -> Workload {
+        let (components, weights) = self.components();
+        let records = interleave_weighted(components, &weights, accesses, self.seed);
+        Workload::new(self.name.clone(), records, self.memory_intensive)
+    }
+
+    /// Turns the blend into a lazy, restartable [`TraceSource`] producing
+    /// `accesses` records per replay in O(1) memory (with respect to the
+    /// trace length). Record-for-record identical to [`Blend::build`]:
+    /// components are rebuilt from the blend description on every replay and
+    /// interleaved by the same seeded draw sequence.
+    #[must_use]
+    pub fn source(&self, accesses: usize) -> TraceSource {
+        let blend = self.clone();
+        TraceSource::new(self.name.clone(), self.memory_intensive, accesses, move || {
+            let (components, weights) = blend.components();
+            Box::new(interleave_weighted_iter(components, weights, blend.seed))
+        })
+    }
+
+    /// The weighted component streams this blend mixes.
+    fn components(&self) -> (Vec<Component>, Vec<f64>) {
         let gap = self.gap;
         let seed = self.seed;
         let mut components: Vec<Component> = Vec::new();
@@ -131,9 +164,29 @@ impl Blend {
             &mut weights,
             &mut components,
         );
+        // Power-law object popularity (web-serving / key-value request mix;
+        // ~10% of object touches are writes). Unlike the other components,
+        // construction costs O(zipf_objects) (cumulative masses + a slot
+        // permutation), so it is gated on the weight rather than eagerly
+        // built and discarded — blends without a zipf share pay nothing.
+        if self.zipf > 0.0 {
+            add(
+                zipfian(
+                    0x4_8000,
+                    0x4_0000_0000,
+                    self.zipf_objects.max(1),
+                    self.zipf_theta,
+                    0.1,
+                    gap,
+                    seed ^ 0x4,
+                ),
+                self.zipf,
+                &mut weights,
+                &mut components,
+            );
+        }
 
-        let records = interleave_weighted(components, &weights, accesses, seed);
-        Workload::new(self.name.clone(), records, self.memory_intensive)
+        (components, weights)
     }
 }
 
@@ -187,8 +240,11 @@ impl BlendBuilder {
                 loop_stream: 0.0,
                 resident: 0.0,
                 noise: 0.0,
+                zipf: 0.0,
                 gap: 30,
                 chase_nodes: 2_000,
+                zipf_objects: 16_384,
+                zipf_theta: 0.99,
                 seed,
             },
         }
@@ -254,6 +310,27 @@ impl BlendBuilder {
     #[must_use]
     pub fn noise(mut self, w: f64) -> Self {
         self.blend.noise = w;
+        self
+    }
+
+    /// Sets the Zipfian (power-law object popularity) weight.
+    #[must_use]
+    pub fn zipf(mut self, w: f64) -> Self {
+        self.blend.zipf = w;
+        self
+    }
+
+    /// Sets the number of objects in the Zipfian working set.
+    #[must_use]
+    pub fn zipf_objects(mut self, objects: usize) -> Self {
+        self.blend.zipf_objects = objects;
+        self
+    }
+
+    /// Sets the Zipfian skew parameter `theta`.
+    #[must_use]
+    pub fn zipf_theta(mut self, theta: f64) -> Self {
+        self.blend.zipf_theta = theta;
         self
     }
 
@@ -347,5 +424,34 @@ mod tests {
     #[should_panic(expected = "at least one component")]
     fn empty_blend_panics() {
         let _ = Blend::builder("empty").finish().build(10);
+    }
+
+    #[test]
+    fn source_streams_the_same_records_as_build() {
+        let blend =
+            Blend::builder("stream-eq").stream(0.3).chase(0.3).zipf(0.2).noise(0.2).gap(7).finish();
+        let eager = blend.build(1_200);
+        let source = blend.source(1_200);
+        assert_eq!(source.name(), "stream-eq");
+        assert_eq!(source.collect(), eager);
+        // Replays are restartable and identical.
+        let first: Vec<_> = source.records().collect();
+        let second: Vec<_> = source.records().collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn zipf_weight_steers_the_mix() {
+        let blend = Blend::builder("webby").zipf(0.9).stream(0.1).gap(4).finish();
+        let w = blend.build(3_000);
+        let zipf_pc = w.records.iter().filter(|r| r.pc == Pc::new(0x4_8000)).count();
+        assert!(zipf_pc > 2_300, "zipf PC should dominate, got {zipf_pc}");
+    }
+
+    #[test]
+    fn zero_accesses_build_an_empty_trace() {
+        let blend = Blend::builder("empty-ok").stream(1.0).finish();
+        assert_eq!(blend.build(0).records.len(), 0);
+        assert_eq!(blend.source(0).records().count(), 0);
     }
 }

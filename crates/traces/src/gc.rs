@@ -1,0 +1,115 @@
+//! Pointer-chasing workloads: linked-list traversal, garbage collection and
+//! ordered-index walks — the scenario family where almost every access is a
+//! serially dependent load and only temporal (address-correlating)
+//! prefetchers can help. Registered as [`crate::Suite::PointerChase`].
+//!
+//! These stand in for managed-runtime behaviour (tracing GC marks the live
+//! object graph; sweeps stream the heap linearly) and for classic
+//! list/skiplist index structures, rounding out the SPEC/PARSEC/Ligra mix
+//! with the workloads that stress Alecto's demand request allocation the
+//! hardest.
+
+use alecto_types::{TraceSource, Workload};
+
+use crate::blend::Blend;
+
+/// The pointer-chasing benchmarks of the family.
+pub const BENCHMARKS: [&str; 4] = ["linked-list", "gc-mark", "gc-sweep", "skiplist"];
+
+/// Builds the blend describing `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is not in [`BENCHMARKS`].
+#[must_use]
+pub fn blend(name: &str) -> Blend {
+    assert!(BENCHMARKS.contains(&name), "unknown pointer-chase benchmark: {name}");
+    let b = Blend::builder(name);
+    match name {
+        // A cold, DRAM-sized list walk: nearly pure dependent loads.
+        "linked-list" => b
+            .memory_intensive()
+            .chase(0.85)
+            .noise(0.1)
+            .resident(0.05)
+            .gap(6)
+            .chase_nodes(60_000)
+            .finish(),
+        // Tracing GC mark phase: pointer graph traversal plus mark-bitmap
+        // writes (spatial) and allocation-site noise.
+        "gc-mark" => b
+            .memory_intensive()
+            .chase(0.5)
+            .spatial(0.2)
+            .noise(0.25)
+            .resident(0.05)
+            .gap(8)
+            .chase_nodes(40_000)
+            .finish(),
+        // Sweep phase: the heap is walked linearly, free lists are threaded
+        // through it (recurring chase over a smaller set).
+        "gc-sweep" => b
+            .memory_intensive()
+            .stream(0.5)
+            .spatial(0.2)
+            .chase(0.2)
+            .resident(0.1)
+            .gap(10)
+            .chase_nodes(8_000)
+            .finish(),
+        // Skiplist search: short dependent descents with hot upper levels.
+        "skiplist" => {
+            b.chase(0.45).resident(0.3).stride(0.15).noise(0.1).gap(14).chase_nodes(12_000).finish()
+        }
+        _ => unreachable!("benchmark {name} is listed but has no blend"),
+    }
+}
+
+/// Generates the named pointer-chasing workload (eager, O(accesses) memory).
+///
+/// # Panics
+///
+/// Panics if `name` is unknown.
+#[must_use]
+pub fn workload(name: &str, accesses: usize) -> Workload {
+    blend(name).build(accesses)
+}
+
+/// Streaming variant of [`workload`]: a lazy [`TraceSource`] producing the
+/// identical records in O(1) memory.
+///
+/// # Panics
+///
+/// Panics if `name` is unknown.
+#[must_use]
+pub fn source(name: &str, accesses: usize) -> TraceSource {
+    blend(name).source(accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_blends() {
+        for name in BENCHMARKS {
+            let w = workload(name, 120);
+            assert_eq!(w.memory_accesses(), 120);
+            assert_eq!(source(name, 120).collect(), w);
+        }
+    }
+
+    #[test]
+    fn chasing_dominates_the_list_walk() {
+        let w = workload("linked-list", 2_000);
+        let dependent = w.records.iter().filter(|r| r.dependent).count();
+        assert!(dependent > 1_400, "most accesses should be dependent loads, got {dependent}");
+        assert!(w.memory_intensive);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pointer-chase benchmark")]
+    fn unknown_name_panics() {
+        let _ = workload("btree", 10);
+    }
+}

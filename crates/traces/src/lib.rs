@@ -25,21 +25,26 @@
 #![warn(missing_docs)]
 
 pub mod blend;
+pub mod db;
+pub mod gc;
 pub mod ligra;
 pub mod parsec;
 pub mod patterns;
 pub mod spec06;
 pub mod spec17;
+pub mod web;
 
 pub use blend::{derive_seed, Blend, BlendBuilder};
 pub use patterns::{
-    delta_chain, interleave_weighted, looping_stream, pointer_chase, random_noise, spatial_pages,
-    stream, strided,
+    delta_chain, interleave_weighted, interleave_weighted_iter, looping_stream, pointer_chase,
+    random_noise, spatial_pages, stream, strided, zipfian,
 };
 
-use alecto_types::Workload;
+use alecto_types::{TraceSource, Workload};
 
-/// The benchmark suites the paper evaluates.
+/// The registered benchmark suites: the four the paper evaluates plus the
+/// three production-scenario families (pointer chasing, Zipfian web serving,
+/// database scan/join) the stress sweeps exercise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU2006 (single-core, Fig. 8).
@@ -50,9 +55,47 @@ pub enum Suite {
     Parsec,
     /// Ligra graph workloads (eight-core, Fig. 17).
     Ligra,
+    /// Linked-list / GC pointer chasing ([`gc`]).
+    PointerChase,
+    /// Zipfian web serving ([`web`]).
+    WebServe,
+    /// Database scan/join ([`db`]).
+    Database,
 }
 
 impl Suite {
+    /// Every registered suite, in registry order.
+    pub const ALL: [Suite; 7] = [
+        Suite::Spec06,
+        Suite::Spec17,
+        Suite::Parsec,
+        Suite::Ligra,
+        Suite::PointerChase,
+        Suite::WebServe,
+        Suite::Database,
+    ];
+
+    /// Stable registry name of the suite.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Suite::Spec06 => "spec06",
+            Suite::Spec17 => "spec17",
+            Suite::Parsec => "parsec",
+            Suite::Ligra => "ligra",
+            Suite::PointerChase => "pointer-chase",
+            Suite::WebServe => "web-serve",
+            Suite::Database => "database",
+        }
+    }
+
+    /// Finds the suite that registers `benchmark`, if any (benchmark names
+    /// are unique across suites).
+    #[must_use]
+    pub fn of(benchmark: &str) -> Option<Suite> {
+        Suite::ALL.into_iter().find(|s| s.benchmarks().contains(&benchmark))
+    }
+
     /// Names of all benchmarks in the suite.
     #[must_use]
     pub fn benchmarks(&self) -> Vec<&'static str> {
@@ -61,10 +104,14 @@ impl Suite {
             Suite::Spec17 => spec17::BENCHMARKS.iter().map(|b| b.name).collect(),
             Suite::Parsec => parsec::BENCHMARKS.to_vec(),
             Suite::Ligra => ligra::BENCHMARKS.to_vec(),
+            Suite::PointerChase => gc::BENCHMARKS.to_vec(),
+            Suite::WebServe => web::BENCHMARKS.to_vec(),
+            Suite::Database => db::BENCHMARKS.to_vec(),
         }
     }
 
-    /// Generates the named workload with `accesses` memory accesses.
+    /// Generates the named workload with `accesses` memory accesses (eager,
+    /// O(accesses) memory).
     ///
     /// # Panics
     ///
@@ -76,13 +123,41 @@ impl Suite {
             Suite::Spec17 => spec17::workload(name, accesses),
             Suite::Parsec => parsec::workload(name, accesses),
             Suite::Ligra => ligra::workload(name, accesses),
+            Suite::PointerChase => gc::workload(name, accesses),
+            Suite::WebServe => web::workload(name, accesses),
+            Suite::Database => db::workload(name, accesses),
         }
     }
 
-    /// Generates every workload of the suite.
+    /// Streaming variant of [`Suite::workload`]: a lazy [`TraceSource`]
+    /// producing the identical records in O(1) memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark name is not part of the suite.
+    #[must_use]
+    pub fn source(&self, name: &str, accesses: usize) -> TraceSource {
+        match self {
+            Suite::Spec06 => spec06::source(name, accesses),
+            Suite::Spec17 => spec17::source(name, accesses),
+            Suite::Parsec => parsec::source(name, accesses),
+            Suite::Ligra => ligra::source(name, accesses),
+            Suite::PointerChase => gc::source(name, accesses),
+            Suite::WebServe => web::source(name, accesses),
+            Suite::Database => db::source(name, accesses),
+        }
+    }
+
+    /// Generates every workload of the suite (eager).
     #[must_use]
     pub fn all_workloads(&self, accesses: usize) -> Vec<Workload> {
         self.benchmarks().iter().map(|b| self.workload(b, accesses)).collect()
+    }
+
+    /// Lazy sources for every benchmark of the suite.
+    #[must_use]
+    pub fn all_sources(&self, accesses: usize) -> Vec<TraceSource> {
+        self.benchmarks().iter().map(|b| self.source(b, accesses)).collect()
     }
 }
 
@@ -96,17 +171,44 @@ mod tests {
         assert_eq!(Suite::Spec17.benchmarks().len(), 21);
         assert!(Suite::Parsec.benchmarks().len() >= 8);
         assert!(Suite::Ligra.benchmarks().len() >= 4);
+        assert!(Suite::PointerChase.benchmarks().len() >= 4);
+        assert!(Suite::WebServe.benchmarks().len() >= 3);
+        assert!(Suite::Database.benchmarks().len() >= 4);
+        assert_eq!(Suite::ALL.len(), 7);
     }
 
     #[test]
     fn every_benchmark_generates_a_trace() {
-        for suite in [Suite::Spec06, Suite::Spec17, Suite::Parsec, Suite::Ligra] {
+        for suite in Suite::ALL {
             for name in suite.benchmarks() {
                 let w = suite.workload(name, 500);
                 assert_eq!(w.memory_accesses(), 500, "{name}");
                 assert!(w.instructions() >= 500, "{name}");
             }
         }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for suite in Suite::ALL {
+            for name in suite.benchmarks() {
+                assert!(seen.insert(name), "benchmark name {name} registered twice");
+                assert_eq!(Suite::of(name), Some(suite), "{name}");
+            }
+        }
+        assert_eq!(Suite::of("not-a-benchmark"), None);
+        assert_eq!(Suite::WebServe.name(), "web-serve");
+    }
+
+    #[test]
+    fn sources_match_workloads_across_the_registry() {
+        for suite in Suite::ALL {
+            let name = suite.benchmarks()[0];
+            let s = suite.source(name, 200);
+            assert_eq!(s.collect(), suite.workload(name, 200), "{name}");
+        }
+        assert_eq!(Suite::Database.all_sources(10).len(), Suite::Database.benchmarks().len());
     }
 
     #[test]

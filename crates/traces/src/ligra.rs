@@ -7,7 +7,9 @@
 //! partially recurring accesses to per-vertex data (temporal/pointer-chase
 //! flavoured), which is exactly the mix that stresses prefetcher selection.
 
-use alecto_types::{Addr, MemoryRecord, Pc, Workload};
+use std::collections::VecDeque;
+
+use alecto_types::{Addr, MemoryRecord, Pc, TraceSource, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,17 +42,31 @@ fn rmat_edges(seed: u64) -> Vec<u32> {
     edges
 }
 
-/// Generates the named Ligra-like workload with `accesses` memory accesses.
-///
-/// # Panics
-///
-/// Panics if `name` is not one of [`BENCHMARKS`].
-#[must_use]
-pub fn workload(name: &str, accesses: usize) -> Workload {
-    assert!(BENCHMARKS.contains(&name), "unknown Ligra kernel: {name}");
-    let seed =
-        name.bytes().fold(0x9e37_79b9u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+/// Kernel-dependent cost per edge (PageRank does more FP work per edge, BFS
+/// almost none) and how often the frontier array is touched.
+fn kernel_params(name: &str) -> (u32, f64) {
+    match name {
+        "BFS" => (4, 0.25),
+        "PageRank" => (14, 0.05),
+        "Components" => (6, 0.2),
+        "BC" => (10, 0.15),
+        "Radii" => (8, 0.2),
+        _ => panic!("unknown Ligra kernel: {name}"),
+    }
+}
+
+fn kernel_seed(name: &str) -> u64 {
+    name.bytes().fold(0x9e37_79b9u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
+}
+
+/// The unbounded record stream of the named kernel: one CSR-offsets sweep
+/// record per vertex, followed by its [`AVG_DEGREE`] edge visits (edge-array
+/// stream + irregular per-vertex data access + occasional frontier store).
+/// State is O(graph), never O(trace length).
+fn record_stream(name: &'static str) -> impl Iterator<Item = MemoryRecord> + Send {
+    let seed = kernel_seed(name);
     let edges = rmat_edges(seed);
+    let (gap, frontier_ratio) = kernel_params(name);
 
     // Address map: offsets array, edges array, and per-vertex data array live
     // in separate regions so their PCs see distinct patterns.
@@ -62,24 +78,18 @@ pub fn workload(name: &str, accesses: usize) -> Workload {
     let pc_vertex = Pc::new(0x7_0020);
     let pc_frontier = Pc::new(0x7_0030);
 
-    // Kernel-dependent cost per edge (PageRank does more FP work per edge,
-    // BFS almost none) and how often the frontier array is touched.
-    let (gap, frontier_ratio) = match name {
-        "BFS" => (4, 0.25),
-        "PageRank" => (14, 0.05),
-        "Components" => (6, 0.2),
-        "BC" => (10, 0.15),
-        "Radii" => (8, 0.2),
-        _ => unreachable!(),
-    };
-
     let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
-    let mut records = Vec::with_capacity(accesses);
     let mut edge_cursor = 0usize;
     let mut vertex_cursor = 0usize;
-    while records.len() < accesses {
+    // One vertex's visit is generated at a time (at most 1 + 3·AVG_DEGREE
+    // records) and drained from this small buffer.
+    let mut pending: VecDeque<MemoryRecord> = VecDeque::with_capacity(1 + 3 * AVG_DEGREE);
+    std::iter::from_fn(move || {
+        if let Some(r) = pending.pop_front() {
+            return Some(r);
+        }
         // Sweep the CSR offsets array for the current vertex (streaming).
-        records.push(MemoryRecord::load(
+        pending.push_back(MemoryRecord::load(
             pc_offsets,
             Addr::new(offsets_base + (vertex_cursor as u64) * 8),
             gap,
@@ -88,35 +98,63 @@ pub fn workload(name: &str, accesses: usize) -> Workload {
         // Visit this vertex's edges: stream through the edge array while
         // making an irregular access to each neighbour's vertex data.
         for _ in 0..AVG_DEGREE {
-            if records.len() >= accesses {
-                break;
-            }
             let target = edges[edge_cursor % edges.len()];
             edge_cursor += 1;
-            records.push(MemoryRecord::load(
+            pending.push_back(MemoryRecord::load(
                 pc_edges,
                 Addr::new(edges_base + (edge_cursor as u64) * 4),
                 gap,
             ));
-            if records.len() >= accesses {
-                break;
-            }
-            records.push(MemoryRecord::load(
+            pending.push_back(MemoryRecord::load(
                 pc_vertex,
                 Addr::new(vertex_base + u64::from(target) * 64),
                 gap,
             ));
-            if records.len() < accesses && rng.gen_bool(frontier_ratio) {
-                records.push(MemoryRecord::store(
+            if rng.gen_bool(frontier_ratio) {
+                pending.push_back(MemoryRecord::store(
                     pc_frontier,
                     Addr::new(vertex_base + u64::from(target) * 64 + 32),
                     1,
                 ));
             }
         }
-    }
-    records.truncate(accesses);
-    Workload::new(name, records, true)
+        pending.pop_front()
+    })
+}
+
+/// Resolves `name` to its `'static` spelling in [`BENCHMARKS`] so the lazy
+/// stream does not have to own a `String`.
+fn static_name(name: &str) -> &'static str {
+    BENCHMARKS
+        .iter()
+        .find(|&&b| b == name)
+        .copied()
+        .unwrap_or_else(|| panic!("unknown Ligra kernel: {name}"))
+}
+
+/// Generates the named Ligra-like workload with `accesses` memory accesses
+/// (eager, O(accesses) memory).
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`BENCHMARKS`].
+#[must_use]
+pub fn workload(name: &str, accesses: usize) -> Workload {
+    let name = static_name(name);
+    Workload::new(name, record_stream(name).take(accesses).collect(), true)
+}
+
+/// Streaming variant of [`workload`]: a lazy [`TraceSource`] producing the
+/// identical records in O(1) memory with respect to the trace length (the
+/// synthetic rMat graph itself — a few hundred KB — is rebuilt per replay).
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`BENCHMARKS`].
+#[must_use]
+pub fn source(name: &str, accesses: usize) -> TraceSource {
+    let name = static_name(name);
+    TraceSource::new(name, true, accesses, move || Box::new(record_stream(name)))
 }
 
 #[cfg(test)]
@@ -161,5 +199,18 @@ mod tests {
     #[should_panic(expected = "unknown Ligra kernel")]
     fn unknown_kernel_panics() {
         let _ = workload("TriangleCount", 10);
+    }
+
+    #[test]
+    fn source_streams_what_workload_collects() {
+        for name in BENCHMARKS {
+            // Cut mid-batch on purpose (batches are 1 + ~2·AVG_DEGREE records).
+            for accesses in [0usize, 7, 501] {
+                let s = source(name, accesses);
+                assert_eq!(s.memory_accesses(), accesses);
+                assert!(s.memory_intensive());
+                assert_eq!(s.collect(), workload(name, accesses), "{name}@{accesses}");
+            }
+        }
     }
 }

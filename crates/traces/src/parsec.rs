@@ -4,7 +4,7 @@
 //! each core receives its own copy of the benchmark's blend, offset into a
 //! private address-space slice, which is what [`per_core_workloads`] provides.
 
-use alecto_types::{Addr, MemoryRecord, Workload};
+use alecto_types::{TraceSource, Workload};
 
 use crate::blend::Blend;
 
@@ -65,6 +65,42 @@ pub fn workload(name: &str, accesses: usize) -> Workload {
     blend(name).build(accesses)
 }
 
+/// Streaming variant of [`workload`]: a lazy [`TraceSource`] producing the
+/// identical records in O(1) memory.
+///
+/// # Panics
+///
+/// Panics if `name` is unknown.
+#[must_use]
+pub fn source(name: &str, accesses: usize) -> TraceSource {
+    blend(name).source(accesses)
+}
+
+/// Streaming variant of [`per_core_workloads`]: `cores` lazy per-thread
+/// sources, each shifted into its disjoint address-space slice, generating
+/// records on demand instead of materialising `cores × accesses` records.
+///
+/// A zero `accesses` budget is valid and yields empty (but well-formed)
+/// traces — callers must not assume every core has at least one record.
+///
+/// # Panics
+///
+/// Panics if `name` is unknown.
+#[must_use]
+pub fn per_core_sources(name: &str, accesses: usize, cores: usize) -> Vec<TraceSource> {
+    let blueprint = blend(name);
+    (0..cores)
+        .map(|core| {
+            let mut per_core = blueprint.clone();
+            per_core.seed = crate::derive_seed(name, core as u64);
+            per_core
+                .source(accesses)
+                .with_name(format!("{name}#t{core}"))
+                .with_addr_offset((core as u64) << 38)
+        })
+        .collect()
+}
+
 /// Generates `cores` per-thread workloads, each shifted into a disjoint slice
 /// of the address space (threads share code but mostly work on private data
 /// partitions in these benchmarks' regions of interest).
@@ -74,23 +110,13 @@ pub fn workload(name: &str, accesses: usize) -> Workload {
 /// access interleavings are decorrelated (as real sibling threads are) while
 /// generation stays position-independent: any core's trace can be
 /// regenerated in isolation, in any order, on any worker thread.
+///
+/// Tiny access budgets degrade gracefully: `accesses == 0` produces empty
+/// per-core traces rather than panicking, so downstream consumers must not
+/// `unwrap()` aggregates (`min`/`max`) over a core's records.
 #[must_use]
 pub fn per_core_workloads(name: &str, accesses: usize, cores: usize) -> Vec<Workload> {
-    let blueprint = blend(name);
-    (0..cores)
-        .map(|core| {
-            let mut per_core = blueprint.clone();
-            per_core.seed = crate::derive_seed(name, core as u64);
-            let base = per_core.build(accesses);
-            let offset = (core as u64) << 38;
-            let records: Vec<MemoryRecord> = base
-                .records
-                .iter()
-                .map(|r| MemoryRecord { addr: Addr::new(r.addr.raw() + offset), ..*r })
-                .collect();
-            Workload::new(format!("{name}#t{core}"), records, base.memory_intensive)
-        })
-        .collect()
+    per_core_sources(name, accesses, cores).iter().map(TraceSource::collect).collect()
 }
 
 #[cfg(test)]
@@ -109,10 +135,40 @@ mod tests {
     fn per_core_workloads_are_disjoint() {
         let per_core = per_core_workloads("canneal", 200, 4);
         assert_eq!(per_core.len(), 4);
-        let a_max = per_core[0].records.iter().map(|r| r.addr.raw()).max().unwrap();
-        let b_min = per_core[1].records.iter().map(|r| r.addr.raw()).min().unwrap();
-        assert!(b_min > a_max, "core address slices must not overlap");
+        // Guarded aggregation: an empty per-core trace (tiny access budgets)
+        // must fail the test with a message, not panic inside max()/min().
+        let a_max = per_core[0].records.iter().map(|r| r.addr.raw()).max();
+        let b_min = per_core[1].records.iter().map(|r| r.addr.raw()).min();
+        match (a_max, b_min) {
+            (Some(a), Some(b)) => assert!(b > a, "core address slices must not overlap"),
+            _ => panic!("a 200-access budget must give every core records"),
+        }
         assert!(per_core[0].memory_intensive);
+    }
+
+    #[test]
+    fn zero_access_budgets_degrade_gracefully() {
+        // A tiny or zero --accesses budget must not panic anywhere in the
+        // per-core pipeline: cores simply receive empty (or short) traces.
+        for accesses in [0usize, 1, 2] {
+            let per_core = per_core_workloads("canneal", accesses, 3);
+            assert_eq!(per_core.len(), 3);
+            for (core, w) in per_core.iter().enumerate() {
+                assert_eq!(w.memory_accesses(), accesses, "core {core}");
+                assert_eq!(w.instructions(), w.records.iter().map(|r| r.instructions()).sum());
+            }
+            let sources = per_core_sources("canneal", accesses, 3);
+            assert!(sources.iter().all(|s| s.records().count() == accesses));
+        }
+    }
+
+    #[test]
+    fn per_core_sources_stream_what_workloads_collect() {
+        let sources = per_core_sources("dedup", 150, 2);
+        let workloads = per_core_workloads("dedup", 150, 2);
+        for (s, w) in sources.iter().zip(&workloads) {
+            assert_eq!(&s.collect(), w);
+        }
     }
 
     #[test]

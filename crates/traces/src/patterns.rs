@@ -9,8 +9,10 @@ use alecto_types::{AccessKind, Addr, MemoryRecord, Pc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A lazily generated component stream of memory accesses.
-pub type Component = Box<dyn FnMut() -> MemoryRecord>;
+/// A lazily generated component stream of memory accesses. Components are
+/// `Send` so that a [`alecto_types::TraceSource`] built from them can be
+/// replayed on any worker thread of the parallel experiment engine.
+pub type Component = Box<dyn FnMut() -> MemoryRecord + Send>;
 
 /// A forward (or backward) unit-stride stream over cache lines, the pattern
 /// GS-style stream prefetchers are built for (`lbm`, `libquantum`, ...).
@@ -130,9 +132,99 @@ pub fn random_noise(pc: u64, base: u64, span_bytes: u64, gap: u32, seed: u64) ->
     })
 }
 
+/// Zipfian accesses over `objects` cache-line-sized objects with skew
+/// `theta`: rank `r` is drawn with probability proportional to `1/r^theta`,
+/// and ranks are scattered over the region through a seeded permutation (hot
+/// objects are not spatially adjacent, exactly like a web cache or a
+/// key-value store under a power-law request mix). A `store_ratio` fraction
+/// of accesses are stores (cache updates / session writes).
+///
+/// # Panics
+///
+/// Panics if `objects == 0` or `store_ratio` is outside `[0, 1]`.
+#[must_use]
+pub fn zipfian(
+    pc: u64,
+    base: u64,
+    objects: usize,
+    theta: f64,
+    store_ratio: f64,
+    gap: u32,
+    seed: u64,
+) -> Component {
+    assert!(objects > 0, "a zipfian pattern needs at least one object");
+    assert!((0.0..=1.0).contains(&store_ratio), "store ratio must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative mass of ranks 1..=objects (the generalized harmonic sums).
+    let mut cumulative = Vec::with_capacity(objects);
+    let mut total = 0.0f64;
+    for rank in 1..=objects {
+        total += (rank as f64).powf(theta).recip();
+        cumulative.push(total);
+    }
+    // Scatter ranks over object slots so popularity is not spatially ordered.
+    let mut slot_of_rank: Vec<u64> = (0..objects as u64).collect();
+    for i in (1..objects).rev() {
+        let j = rng.gen_range(0..=i);
+        slot_of_rank.swap(i, j);
+    }
+    let base_line = base >> 6;
+    Box::new(move || {
+        let pick = rng.gen::<f64>() * total;
+        let rank = cumulative.partition_point(|&c| c <= pick).min(objects - 1);
+        let line = base_line + slot_of_rank[rank] * 3; // objects span a few lines
+        let kind = if rng.gen_bool(store_ratio) { AccessKind::Store } else { AccessKind::Load };
+        MemoryRecord {
+            pc: Pc::new(pc),
+            addr: Addr::new(line << 6),
+            kind,
+            gap_instructions: gap,
+            dependent: false,
+        }
+    })
+}
+
+/// Streaming form of [`interleave_weighted`]: an *unbounded* iterator that
+/// draws from `components` with probability proportional to `weights`,
+/// deterministically for a given `seed`. The eager variant collects exactly
+/// this stream; the `streamed_equals_collected` property test in the root
+/// crate locks the two paths together.
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, mismatched in length, or all-zero weight.
+pub fn interleave_weighted_iter(
+    mut components: Vec<Component>,
+    weights: Vec<f64>,
+    seed: u64,
+) -> impl Iterator<Item = MemoryRecord> + Send {
+    assert!(!components.is_empty(), "need at least one component");
+    assert_eq!(components.len(), weights.len(), "one weight per component");
+    let weight_sum: f64 = weights.iter().sum();
+    assert!(weight_sum > 0.0, "weights must not all be zero");
+    let mut rng = StdRng::seed_from_u64(seed);
+    std::iter::from_fn(move || {
+        let mut pick = rng.gen::<f64>() * weight_sum;
+        let mut idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+            idx = i;
+        }
+        Some(components[idx]())
+    })
+}
+
 /// Interleaves component streams according to `weights`, producing exactly
 /// `total` records. Component `i` is chosen with probability proportional to
 /// `weights[i]`; selection is deterministic for a given `seed`.
+///
+/// This is the *legacy, eagerly collected* generation path, kept alongside
+/// [`interleave_weighted_iter`] so property tests can assert that streaming
+/// reproduces it record for record.
 ///
 /// # Panics
 ///
@@ -269,5 +361,43 @@ mod tests {
     #[should_panic(expected = "one weight per component")]
     fn mismatched_weights_panic() {
         let _ = interleave_weighted(vec![stream(0x1, 0, 1, true)], &[0.5, 0.5], 10, 1);
+    }
+
+    #[test]
+    fn streaming_interleave_matches_collected() {
+        let mk_components =
+            || vec![stream(0x1, 0, 1, true), random_noise(0x2, 1 << 30, 1 << 18, 1, 9)];
+        let eager = interleave_weighted(mk_components(), &[0.7, 0.3], 800, 11);
+        let streamed: Vec<MemoryRecord> =
+            interleave_weighted_iter(mk_components(), vec![0.7, 0.3], 11).take(800).collect();
+        assert_eq!(eager, streamed, "lazy generation must replay the legacy path exactly");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_recurring_and_deterministic() {
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut z = zipfian(0x30, 1 << 32, 4_096, 0.99, 0.1, 2, seed);
+            (0..3_000).map(|_| z().addr.raw()).collect()
+        };
+        let a = draws(5);
+        assert_eq!(a, draws(5), "same seed must replay the same request mix");
+        assert_ne!(a, draws(6), "different seeds must decorrelate");
+        // Power-law skew: the most popular object dominates far beyond 1/N.
+        let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for addr in &a {
+            *counts.entry(*addr).or_default() += 1;
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest > 100, "hottest of 4096 objects should take >>1/N of 3000 draws");
+        assert!(counts.len() > 200, "the long tail must still be touched");
+        // Some accesses are stores.
+        let mut z = zipfian(0x30, 1 << 32, 4_096, 0.99, 0.3, 2, 5);
+        assert!((0..500).any(|_| z().kind == AccessKind::Store));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn empty_zipfian_panics() {
+        let _ = zipfian(0x30, 0, 0, 1.0, 0.0, 1, 1);
     }
 }

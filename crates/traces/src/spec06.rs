@@ -5,7 +5,7 @@
 //! (e.g. `GemsFDTD` interleaves a spatial PC with a stream PC as in Fig. 2,
 //! `mcf`/`omnetpp` are pointer-chasing, `lbm`/`libquantum` stream).
 
-use alecto_types::Workload;
+use alecto_types::{TraceSource, Workload};
 
 use crate::blend::Blend;
 
@@ -139,7 +139,7 @@ pub fn blend(name: &str) -> Blend {
     }
 }
 
-/// Generates the named SPEC CPU2006-like workload.
+/// Generates the named SPEC CPU2006-like workload (eager, O(accesses) memory).
 ///
 /// # Panics
 ///
@@ -147,6 +147,17 @@ pub fn blend(name: &str) -> Blend {
 #[must_use]
 pub fn workload(name: &str, accesses: usize) -> Workload {
     blend(name).build(accesses)
+}
+
+/// Streaming variant of [`workload`]: a lazy [`TraceSource`] producing the
+/// identical records in O(1) memory.
+///
+/// # Panics
+///
+/// Panics if `name` is unknown.
+#[must_use]
+pub fn source(name: &str, accesses: usize) -> TraceSource {
+    blend(name).source(accesses)
 }
 
 /// Names of the memory-intensive subset (the dotted box of Fig. 8).

@@ -1,6 +1,6 @@
 //! SPEC CPU2017-like workloads (Fig. 9).
 
-use alecto_types::Workload;
+use alecto_types::{TraceSource, Workload};
 
 use crate::blend::Blend;
 use crate::spec06::BenchmarkInfo;
@@ -100,7 +100,7 @@ pub fn blend(name: &str) -> Blend {
     }
 }
 
-/// Generates the named SPEC CPU2017-like workload.
+/// Generates the named SPEC CPU2017-like workload (eager, O(accesses) memory).
 ///
 /// # Panics
 ///
@@ -108,6 +108,17 @@ pub fn blend(name: &str) -> Blend {
 #[must_use]
 pub fn workload(name: &str, accesses: usize) -> Workload {
     blend(name).build(accesses)
+}
+
+/// Streaming variant of [`workload`]: a lazy [`TraceSource`] producing the
+/// identical records in O(1) memory.
+///
+/// # Panics
+///
+/// Panics if `name` is unknown.
+#[must_use]
+pub fn source(name: &str, accesses: usize) -> TraceSource {
+    blend(name).source(accesses)
 }
 
 /// Names of the memory-intensive subset (the dotted box of Fig. 9).

@@ -33,4 +33,4 @@ pub use counter::{RatioCounter, SaturatingCounter};
 pub use hash::{fold_pc, FoldedPcHasher};
 pub use request::{AccessKind, DemandAccess, FillLevel, PrefetchRequest, PrefetcherId};
 pub use stats::{geomean, harmonic_mean, weighted_geomean, Summary};
-pub use trace::{MemoryRecord, Workload};
+pub use trace::{BoxedRecordIter, MemoryRecord, TraceSource, Workload};

@@ -7,6 +7,9 @@
 //! information a gem5 simpoint checkpoint provides to an execution-driven
 //! run, collapsed to what the memory hierarchy and prefetchers can observe.
 
+use std::fmt;
+use std::sync::Arc;
+
 use crate::addr::{Addr, Pc};
 use crate::request::{AccessKind, DemandAccess};
 
@@ -97,6 +100,128 @@ impl Workload {
     }
 }
 
+/// A boxed, sendable record iterator — what a [`TraceSource`] factory yields.
+pub type BoxedRecordIter = Box<dyn Iterator<Item = MemoryRecord> + Send>;
+
+/// A lazily generated, restartable workload: the streaming counterpart of
+/// [`Workload`].
+///
+/// Where a `Workload` eagerly materialises its whole trace as a
+/// `Vec<MemoryRecord>` (O(accesses) memory), a `TraceSource` holds only a
+/// *factory* that can mint fresh record iterators on demand, so a
+/// 10-million-access run costs the same memory as a 100-access one. The
+/// factory must be a pure function of the source's construction parameters:
+/// every call to [`TraceSource::records`] yields the **same** record
+/// sequence, which is what lets the parallel experiment engine hand one
+/// shared source to many simulation cells (and several cores of one cell)
+/// without coordination.
+///
+/// Cloning is cheap (the factory is behind an [`Arc`]).
+#[derive(Clone)]
+pub struct TraceSource {
+    name: String,
+    memory_intensive: bool,
+    accesses: usize,
+    factory: Arc<dyn Fn() -> BoxedRecordIter + Send + Sync>,
+}
+
+impl TraceSource {
+    /// Creates a source named `name` producing `accesses` records per replay.
+    ///
+    /// `factory` may yield an *unbounded* iterator; [`TraceSource::records`]
+    /// truncates it to `accesses` records.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        memory_intensive: bool,
+        accesses: usize,
+        factory: impl Fn() -> BoxedRecordIter + Send + Sync + 'static,
+    ) -> Self {
+        Self { name: name.into(), memory_intensive, accesses, factory: Arc::new(factory) }
+    }
+
+    /// Wraps an already-materialised workload (the records are shared, not
+    /// copied, between replays). The legacy bridge for callers that still
+    /// build `Workload`s eagerly.
+    #[must_use]
+    pub fn from_workload(workload: Workload) -> Self {
+        let Workload { name, records, memory_intensive } = workload;
+        let accesses = records.len();
+        let records = Arc::new(records);
+        Self::new(name, memory_intensive, accesses, move || {
+            let records = Arc::clone(&records);
+            Box::new((0..records.len()).map(move |i| records[i]))
+        })
+    }
+
+    /// Benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the paper counts the benchmark as memory intensive.
+    #[must_use]
+    pub const fn memory_intensive(&self) -> bool {
+        self.memory_intensive
+    }
+
+    /// Number of memory accesses one replay produces.
+    #[must_use]
+    pub const fn memory_accesses(&self) -> usize {
+        self.accesses
+    }
+
+    /// Starts a fresh replay of the trace. Every call yields the identical
+    /// record sequence.
+    #[must_use]
+    pub fn records(&self) -> BoxedRecordIter {
+        Box::new((self.factory)().take(self.accesses))
+    }
+
+    /// Materialises the trace into a [`Workload`] (O(accesses) memory — the
+    /// legacy representation, still used by record-introspecting tests and
+    /// figures).
+    #[must_use]
+    pub fn collect(&self) -> Workload {
+        Workload::new(self.name.clone(), self.records().collect(), self.memory_intensive)
+    }
+
+    /// Renames the source (e.g. to make sweep rows unique in a merged grid).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Derives a source whose every address is shifted by `offset` bytes —
+    /// how multi-core sweeps give each core its own address-space slice
+    /// without materialising per-core record vectors.
+    #[must_use]
+    pub fn with_addr_offset(self, offset: u64) -> Self {
+        let inner = self.factory;
+        Self {
+            factory: Arc::new(move || {
+                Box::new(inner().map(move |r| MemoryRecord {
+                    addr: Addr::new(r.addr.raw().wrapping_add(offset)),
+                    ..r
+                }))
+            }),
+            ..self
+        }
+    }
+}
+
+impl fmt::Debug for TraceSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSource")
+            .field("name", &self.name)
+            .field("memory_intensive", &self.memory_intensive)
+            .field("accesses", &self.accesses)
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +250,49 @@ mod tests {
         assert_eq!(w.memory_accesses(), 2);
         assert!(w.memory_intensive);
         assert_eq!(w.name, "toy");
+    }
+
+    fn counting_source(accesses: usize) -> TraceSource {
+        TraceSource::new("count", true, accesses, || {
+            Box::new((0u64..).map(|i| MemoryRecord::load(Pc::new(0x10), Addr::new(i * 64), 3)))
+        })
+    }
+
+    #[test]
+    fn source_replays_are_identical_and_bounded() {
+        let s = counting_source(5);
+        assert_eq!(s.name(), "count");
+        assert!(s.memory_intensive());
+        assert_eq!(s.memory_accesses(), 5);
+        let a: Vec<MemoryRecord> = s.records().collect();
+        let b: Vec<MemoryRecord> = s.records().collect();
+        assert_eq!(a.len(), 5, "unbounded factory must be truncated");
+        assert_eq!(a, b, "replays must be identical");
+        assert_eq!(s.collect().records, a);
+    }
+
+    #[test]
+    fn source_round_trips_through_workload() {
+        let w = counting_source(4).collect();
+        let s = TraceSource::from_workload(w.clone());
+        assert_eq!(s.collect(), w);
+        assert_eq!(s.memory_accesses(), 4);
+    }
+
+    #[test]
+    fn offset_and_rename_derive_new_sources() {
+        let s = counting_source(3).with_name("shifted").with_addr_offset(1 << 20);
+        assert_eq!(s.name(), "shifted");
+        let base = counting_source(3);
+        for (shifted, plain) in s.records().zip(base.records()) {
+            assert_eq!(shifted.addr.raw(), plain.addr.raw() + (1 << 20));
+            assert_eq!(shifted.pc, plain.pc);
+        }
+    }
+
+    #[test]
+    fn sources_are_send_and_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceSource>();
     }
 }

@@ -1,8 +1,15 @@
 //! Quickstart: simulate one benchmark under the five prefetcher-selection
 //! algorithms of the paper and print their speedups over no prefetching.
 //!
+//! The benchmark may come from any registered suite — the paper's four
+//! (SPEC06/SPEC17/PARSEC/Ligra) or the production scenario families
+//! (`linked-list`, `gc-mark`, … / `web-cache`, `kv-store`, … /
+//! `seq-scan`, `hash-join`, …):
+//!
 //! ```text
 //! cargo run --release --example quickstart [benchmark] [accesses]
+//! cargo run --release --example quickstart web-cache 50000
+//! cargo run --release --example quickstart hash-join
 //! ```
 
 use alecto_repro::prelude::*;
@@ -12,8 +19,16 @@ fn main() {
     let benchmark = args.first().map_or("GemsFDTD", String::as_str);
     let accesses: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
 
-    println!("benchmark: {benchmark} ({accesses} memory accesses)");
-    let workload = traces::spec06::workload(benchmark, accesses);
+    // Resolve the benchmark through the suite registry.
+    let suite = traces::Suite::of(benchmark).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {benchmark:?}; registered benchmarks:");
+        for suite in traces::Suite::ALL {
+            eprintln!("  {:13} {}", suite.name(), suite.benchmarks().join(" "));
+        }
+        std::process::exit(2);
+    });
+    println!("benchmark: {benchmark} (suite {}, {accesses} memory accesses)", suite.name());
+    let workload = suite.workload(benchmark, accesses);
 
     // Baseline: prefetching disabled.
     let baseline = cpu::run_single_core(

@@ -10,14 +10,14 @@ use harness::runner::{run_multicore_mix, run_single_core_suite};
 use harness::SpeedupGrid;
 
 fn quick_suite(jobs: usize) -> SpeedupGrid {
-    let workloads = vec![
-        traces::spec06::workload("lbm", 800),
-        traces::spec06::workload("mcf", 800),
-        traces::spec06::workload("GemsFDTD", 800),
-        traces::spec17::workload("povray_17", 800),
+    let sources = vec![
+        traces::spec06::source("lbm", 800),
+        traces::spec06::source("mcf", 800),
+        traces::spec06::source("GemsFDTD", 800),
+        traces::spec17::source("povray_17", 800),
     ];
     run_single_core_suite(
-        &workloads,
+        &sources,
         &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto],
         CompositeKind::GsCsPmp,
         &SystemConfig::skylake_like(1),
@@ -68,7 +68,7 @@ fn multicore_mix_is_identical_across_worker_counts() {
     let mk = |jobs: usize| {
         run_multicore_mix(
             "canneal-x4",
-            &traces::parsec::per_core_workloads("canneal", 500, 4),
+            &traces::parsec::per_core_sources("canneal", 500, 4),
             &[SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto],
             CompositeKind::GsCsPmp,
             &SystemConfig::skylake_like(4),
@@ -76,4 +76,46 @@ fn multicore_mix_is_identical_across_worker_counts() {
         )
     };
     assert_grids_identical(&mk(1), &mk(3));
+}
+
+#[test]
+fn determinism_holds_below_and_above_the_multicore_derivation_floor() {
+    // `--accesses N` derives the multi-core per-core budget as
+    // max(N / 3, 100): N = 90 floors at 100 (below the floor), N = 900
+    // derives 300 (above it). Both regimes — including the tiny budget where
+    // some cores exhaust their trace almost immediately — must stay
+    // byte-identical across worker counts.
+    for accesses in [90usize, 900] {
+        let multicore = (accesses / 3).max(100);
+        let mk = |jobs: usize| {
+            run_multicore_mix(
+                &format!("streamcluster-x4@{accesses}"),
+                &traces::parsec::per_core_sources("streamcluster", multicore, 4),
+                &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto],
+                CompositeKind::GsCsPmp,
+                &SystemConfig::skylake_like(4),
+                jobs,
+            )
+        };
+        assert_grids_identical(&mk(1), &mk(4));
+    }
+}
+
+#[test]
+fn streamed_suite_matches_a_materialised_rerun() {
+    // The streaming engine must reproduce what eagerly collected workloads
+    // produce: collect each source into a Workload, wrap it back into a
+    // (records-backed) source, and compare full grids.
+    let names = ["lbm", "mcf"];
+    let streamed: Vec<alecto_repro::types::TraceSource> =
+        names.iter().map(|n| traces::spec06::source(n, 600)).collect();
+    let collected: Vec<alecto_repro::types::TraceSource> = streamed
+        .iter()
+        .map(|s| alecto_repro::types::TraceSource::from_workload(s.collect()))
+        .collect();
+    let algorithms = [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto];
+    let config = SystemConfig::skylake_like(1);
+    let a = run_single_core_suite(&streamed, &algorithms, CompositeKind::GsCsPmp, &config, 2);
+    let b = run_single_core_suite(&collected, &algorithms, CompositeKind::GsCsPmp, &config, 2);
+    assert_grids_identical(&a, &b);
 }
