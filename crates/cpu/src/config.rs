@@ -60,6 +60,16 @@ impl SystemConfig {
         c
     }
 
+    /// Table I configuration with explicit timing knobs (the `timing`
+    /// experiment sweeps latency-sensitive vs bandwidth-bound DRAM admission
+    /// rates).
+    #[must_use]
+    pub fn with_timing(cores: usize, timing: memsys::TimingParams) -> Self {
+        let mut c = Self::skylake_like(cores);
+        c.hierarchy.timing = timing;
+        c
+    }
+
     /// Renders the configuration as the rows of Table I (used by the harness's
     /// `table1` command).
     #[must_use]
@@ -114,6 +124,14 @@ impl SystemConfig {
                     self.hierarchy.dram.channels,
                     self.hierarchy.dram.ranks_per_channel,
                     self.hierarchy.dram.banks_per_rank
+                ),
+            ),
+            (
+                "Memory controller".to_string(),
+                format!(
+                    "admits {} fill(s) per {} cycle(s)",
+                    self.hierarchy.timing.dram_drain_requests,
+                    self.hierarchy.timing.dram_drain_period
                 ),
             ),
         ]

@@ -200,6 +200,7 @@ impl CoreModel {
             instructions: self.instructions,
             cycles: cycles as u64,
             ipc: self.instructions as f64 / cycles,
+            timing: *hierarchy.timing_stats(self.core_id),
             l1: *hierarchy.l1_stats(self.core_id),
             l2: *hierarchy.l2_stats(self.core_id),
             quality: *hierarchy.quality(self.core_id),
@@ -315,6 +316,47 @@ mod tests {
             a.ipc,
             b.ipc
         );
+    }
+
+    #[test]
+    fn report_carries_cycle_accounting() {
+        let trace = stream_trace(2_000, 20);
+        let report = run(SelectionAlgorithm::NoPrefetching, &trace);
+        // Every record is one demand access, each with a non-zero latency.
+        assert_eq!(report.timing.demand_accesses, 2_000);
+        assert!(report.timing.demand_latency_cycles >= report.timing.demand_accesses * 4);
+        let avg = report.avg_mem_latency();
+        assert!(avg >= 4.0, "average latency {avg} cannot undercut the L1 hit latency");
+        // A DRAM-bound stream's average must clearly exceed the L1 latency.
+        assert!(avg > 8.0, "a cold stream must show off-chip latency, got {avg}");
+    }
+
+    #[test]
+    fn bandwidth_bound_timing_lowers_streaming_ipc() {
+        // The same stream under a throttled DRAM admission queue must retire
+        // slower and expose a higher average memory latency.
+        let trace = stream_trace(4_000, 6);
+        let run_with = |timing: memsys::TimingParams| {
+            let config = SystemConfig::with_timing(1, timing);
+            let controller =
+                PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::NoPrefetching);
+            let mut core = CoreModel::new(0, &config, controller);
+            let mut hier = Hierarchy::new(config.hierarchy.clone());
+            for r in &trace {
+                core.step(r, &mut hier);
+            }
+            core.report("stream", &hier)
+        };
+        let fast = run_with(memsys::TimingParams::latency_sensitive());
+        let slow = run_with(memsys::TimingParams::bandwidth_bound());
+        assert!(
+            slow.ipc < fast.ipc * 0.9,
+            "bandwidth-bound drain must cost IPC ({} vs {})",
+            slow.ipc,
+            fast.ipc
+        );
+        assert!(slow.avg_mem_latency() > fast.avg_mem_latency());
+        assert!(slow.timing.dram_queue_cycles > fast.timing.dram_queue_cycles);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Result structures produced by a simulation run.
 
-use memsys::{CacheStats, DramStats, PrefetchQuality};
+use memsys::{CacheStats, DramStats, PrefetchQuality, TimingStats};
 use prefetch::TableStats;
 
 /// Per-prefetcher metadata-table statistics with the prefetcher's name.
@@ -25,6 +25,9 @@ pub struct CoreReport {
     pub cycles: u64,
     /// Instructions per cycle.
     pub ipc: f64,
+    /// Cycle accounting over the demand stream: access count, summed
+    /// load-to-use latency, and the MSHR/DRAM-queue stall breakdown.
+    pub timing: TimingStats,
     /// L1D statistics.
     pub l1: CacheStats,
     /// L2 statistics.
@@ -51,6 +54,13 @@ impl CoreReport {
             1000.0 * self.l1.demand_misses as f64 / self.instructions as f64
         }
     }
+
+    /// Average load-to-use latency per demand access, in cycles (0 when the
+    /// core performed no memory accesses).
+    #[must_use]
+    pub fn avg_mem_latency(&self) -> f64 {
+        self.timing.avg_demand_latency()
+    }
 }
 
 /// Results of a full system run (all cores plus shared resources).
@@ -76,6 +86,36 @@ impl SystemReport {
     pub fn geomean_ipc(&self) -> Option<f64> {
         let ipcs: Vec<f64> = self.cores.iter().map(|c| c.ipc).collect();
         alecto_types::geomean(&ipcs)
+    }
+
+    /// Total simulated cycles of the run: the system is done when its
+    /// slowest core retires the last instruction.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.cycles).max().unwrap_or(0)
+    }
+
+    /// Total instructions retired across all cores.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Aggregate cycle accounting across all cores.
+    #[must_use]
+    pub fn total_timing(&self) -> TimingStats {
+        let mut t = TimingStats::default();
+        for c in &self.cores {
+            t.merge(&c.timing);
+        }
+        t
+    }
+
+    /// Average load-to-use latency per demand access across all cores, in
+    /// cycles (0 when the run performed no memory accesses).
+    #[must_use]
+    pub fn avg_mem_latency(&self) -> f64 {
+        self.total_timing().avg_demand_latency()
     }
 
     /// Aggregate prefetch quality across all cores.
@@ -128,6 +168,12 @@ mod tests {
             instructions: 1000,
             cycles: 500,
             ipc,
+            timing: TimingStats {
+                demand_accesses: 100,
+                demand_latency_cycles: 2_000,
+                mshr_stall_cycles: 40,
+                dram_queue_cycles: 60,
+            },
             l1: CacheStats { demand_misses: 50, demand_hits: 950, ..Default::default() },
             l2: CacheStats::default(),
             quality: PrefetchQuality {
@@ -150,6 +196,36 @@ mod tests {
     fn mpki_computation() {
         let c = dummy_core(1.0, 10);
         assert!((c.l1_mpki() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_mem_latency_per_core_and_aggregate() {
+        let c = dummy_core(1.0, 10);
+        assert!((c.avg_mem_latency() - 20.0).abs() < 1e-9);
+        let empty = CoreReport { timing: TimingStats::default(), ..dummy_core(1.0, 0) };
+        assert_eq!(empty.avg_mem_latency(), 0.0);
+        let second_timing = TimingStats {
+            demand_accesses: 300,
+            demand_latency_cycles: 600,
+            mshr_stall_cycles: 1,
+            dram_queue_cycles: 2,
+        };
+        let report = SystemReport {
+            selector: "Alecto".into(),
+            composite: "GS+CS+PMP".into(),
+            cores: vec![
+                CoreReport { cycles: 400, ..dummy_core(1.0, 1) },
+                CoreReport { timing: second_timing, ..dummy_core(2.0, 1) },
+            ],
+            l3: CacheStats::default(),
+            dram: DramStats::default(),
+            selector_storage_bits: 0,
+        };
+        assert_eq!(report.total_cycles(), 500);
+        assert_eq!(report.total_instructions(), 2000);
+        assert_eq!(report.total_timing().demand_accesses, 400);
+        // (2000 + 600) cycles over (100 + 300) accesses.
+        assert!((report.avg_mem_latency() - 6.5).abs() < 1e-9);
     }
 
     #[test]

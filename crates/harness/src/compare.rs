@@ -1,0 +1,348 @@
+//! The perf-regression gate behind `alecto-harness compare`: load two
+//! `alecto-bench-v*` JSON reports, match their benchmark × algorithm cells
+//! experiment by experiment, and flag every shared cell whose speedup or IPC
+//! regressed beyond a tolerance.
+//!
+//! Only *shared* cells are compared — a baseline generated before a new
+//! experiment landed still gates the old ones, and a cell removed from the
+//! candidate simply stops being gated (refreshing the committed baseline is
+//! the documented way to acknowledge intentional changes). Improvements
+//! never fail the gate: the check is one-sided.
+
+use std::collections::BTreeMap;
+
+use crate::report::json::{self, JsonValue};
+use crate::report::{Table, JSON_SCHEMA_PREFIX};
+
+/// Default tolerance (percent) when `--tolerance` is not given: generous
+/// enough to absorb model-tuning noise, tight enough to catch real
+/// regressions.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 5.0;
+
+/// The gated metrics of one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Speedup over the no-prefetching baseline.
+    pub speedup: f64,
+    /// Geomean IPC of the run.
+    pub ipc: f64,
+}
+
+/// Identity of a cell: experiment id, benchmark, algorithm. `BTreeMap`
+/// ordering keeps diff tables stable across runs.
+pub type CellKey = (String, String, String);
+
+/// One regressed metric of one shared cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which cell regressed.
+    pub key: CellKey,
+    /// `"speedup"` or `"ipc"`.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Relative change in percent (negative = regression).
+    pub delta_pct: f64,
+}
+
+/// Outcome of comparing two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Cells present in both reports (the gated set).
+    pub shared_cells: usize,
+    /// Cells only in one report (ignored by the gate).
+    pub baseline_only: usize,
+    /// Cells only in the candidate (new coverage, not gated).
+    pub candidate_only: usize,
+    /// Every regression beyond tolerance, in stable key order.
+    pub regressions: Vec<Regression>,
+}
+
+impl Comparison {
+    /// `true` when no shared cell regressed beyond tolerance.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the regressions as a per-cell diff table.
+    #[must_use]
+    pub fn diff_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "experiment",
+            "benchmark",
+            "algorithm",
+            "metric",
+            "baseline",
+            "candidate",
+            "delta",
+        ]);
+        for r in &self.regressions {
+            table.push_row(vec![
+                r.key.0.clone(),
+                r.key.1.clone(),
+                r.key.2.clone(),
+                r.metric.to_string(),
+                format!("{:.4}", r.baseline),
+                format!("{:.4}", r.candidate),
+                format!("{:+.2}%", r.delta_pct),
+            ]);
+        }
+        table
+    }
+}
+
+/// Parses a report document and flattens it into cells keyed by
+/// (experiment, benchmark, algorithm).
+///
+/// # Errors
+///
+/// Returns a message when the text is not valid JSON, does not carry an
+/// `alecto-bench-v*` schema tag, or a cell lacks the gated metrics.
+pub fn load_cells(text: &str) -> Result<BTreeMap<CellKey, CellMetrics>, String> {
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "report has no \"schema\" string".to_string())?;
+    if !schema.starts_with(JSON_SCHEMA_PREFIX) {
+        return Err(format!("unsupported schema {schema:?} (expected {JSON_SCHEMA_PREFIX}*)"));
+    }
+    let experiments = doc
+        .get("experiments")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "report has no \"experiments\" array".to_string())?;
+    let mut cells = BTreeMap::new();
+    for experiment in experiments {
+        let id = experiment
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "experiment has no \"id\"".to_string())?;
+        let Some(cell_values) = experiment.get("cells").and_then(JsonValue::as_array) else {
+            continue; // static tables carry no cells
+        };
+        for cell in cell_values {
+            let field = |name: &str| -> Result<&str, String> {
+                cell.get(name)
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("{id}: cell has no \"{name}\" string"))
+            };
+            // The emitter writes non-finite numbers as `null`; such cells
+            // carry no gateable signal, so they parse as NaN and are skipped
+            // by the non-finite guard below rather than failing the gate.
+            let number = |name: &str| -> Result<f64, String> {
+                match cell.get(name) {
+                    Some(JsonValue::Number(n)) => Ok(*n),
+                    Some(JsonValue::Null) => Ok(f64::NAN),
+                    _ => Err(format!("{id}: cell has no numeric \"{name}\"")),
+                }
+            };
+            let key =
+                (id.to_string(), field("benchmark")?.to_string(), field("algorithm")?.to_string());
+            let metrics = CellMetrics { speedup: number("speedup")?, ipc: number("ipc")? };
+            if cells.insert(key.clone(), metrics).is_some() {
+                return Err(format!("duplicate cell {} × {} × {} in report", key.0, key.1, key.2));
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Compares a candidate report against a baseline: every cell present in
+/// both must keep `speedup` and `ipc` within `tolerance_pct` percent below
+/// the baseline value (improvements always pass).
+///
+/// # Errors
+///
+/// Returns a message when either report fails to parse (see
+/// [`load_cells`]) or the tolerance is not a finite non-negative number.
+pub fn compare_reports(
+    baseline_text: &str,
+    candidate_text: &str,
+    tolerance_pct: f64,
+) -> Result<Comparison, String> {
+    if !tolerance_pct.is_finite() || tolerance_pct < 0.0 {
+        return Err(format!("tolerance must be a non-negative percentage, got {tolerance_pct}"));
+    }
+    let baseline = load_cells(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let candidate = load_cells(candidate_text).map_err(|e| format!("candidate: {e}"))?;
+    let floor = 1.0 - tolerance_pct / 100.0;
+    let mut regressions = Vec::new();
+    let mut shared = 0usize;
+    for (key, base) in &baseline {
+        let Some(cand) = candidate.get(key) else { continue };
+        shared += 1;
+        for (metric, b, c) in [("speedup", base.speedup, cand.speedup), ("ipc", base.ipc, cand.ipc)]
+        {
+            // Non-finite or non-positive baselines carry no signal to gate
+            // against (they come from degenerate runs that retired nothing).
+            if !b.is_finite() || b <= 0.0 {
+                continue;
+            }
+            // A healthy baseline whose candidate value degenerated to
+            // null/non-finite lost the metric entirely — that is the worst
+            // possible regression, not something to skip.
+            if !c.is_finite() {
+                regressions.push(Regression {
+                    key: key.clone(),
+                    metric,
+                    baseline: b,
+                    candidate: c,
+                    delta_pct: -100.0,
+                });
+                continue;
+            }
+            if c < b * floor {
+                regressions.push(Regression {
+                    key: key.clone(),
+                    metric,
+                    baseline: b,
+                    candidate: c,
+                    delta_pct: (c / b - 1.0) * 100.0,
+                });
+            }
+        }
+    }
+    Ok(Comparison {
+        shared_cells: shared,
+        baseline_only: baseline.len() - shared,
+        candidate_only: candidate.len().saturating_sub(shared),
+        regressions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cells: &[(&str, &str, &str, f64, f64)]) -> String {
+        let body: Vec<String> = cells
+            .iter()
+            .map(|(id, bench, algo, speedup, ipc)| {
+                format!(
+                    "{{\"id\":\"{id}\",\"title\":\"t\",\"notes\":[],\
+                     \"table\":{{\"headers\":[],\"rows\":[]}},\
+                     \"cells\":[{{\"benchmark\":\"{bench}\",\"memory_intensive\":true,\
+                     \"algorithm\":\"{algo}\",\"speedup\":{speedup},\"ipc\":{ipc},\
+                     \"baseline_ipc\":1.0,\"accuracy\":0.5,\"coverage\":0.5,\
+                     \"hierarchy_nj\":1.0,\"prefetcher_nj\":1.0}}]}}"
+                )
+            })
+            .collect();
+        format!("{{\"schema\":\"alecto-bench-v2\",\"experiments\":[{}]}}", body.join(","))
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let text = doc(&[("fig8", "mcf", "Alecto", 1.2, 0.8)]);
+        let cmp = compare_reports(&text, &text, 0.0).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.shared_cells, 1);
+        assert_eq!(cmp.baseline_only, 0);
+        assert_eq!(cmp.candidate_only, 0);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails_with_diff() {
+        let base = doc(&[("fig8", "mcf", "Alecto", 1.2, 0.8), ("fig8", "lbm", "IPCP", 1.1, 0.9)]);
+        let cand = doc(&[("fig8", "mcf", "Alecto", 1.0, 0.8), ("fig8", "lbm", "IPCP", 1.1, 0.9)]);
+        let cmp = compare_reports(&base, &cand, 5.0).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        let r = &cmp.regressions[0];
+        assert_eq!(r.key, ("fig8".to_string(), "mcf".to_string(), "Alecto".to_string()));
+        assert_eq!(r.metric, "speedup");
+        assert!(r.delta_pct < -5.0);
+        let rendered = cmp.diff_table().render();
+        assert!(rendered.contains("mcf"));
+        assert!(rendered.contains("speedup"));
+    }
+
+    #[test]
+    fn regression_within_tolerance_passes() {
+        let base = doc(&[("fig8", "mcf", "Alecto", 1.0, 1.0)]);
+        let cand = doc(&[("fig8", "mcf", "Alecto", 0.97, 0.96)]);
+        assert!(compare_reports(&base, &cand, 5.0).unwrap().passed());
+        assert!(!compare_reports(&base, &cand, 1.0).unwrap().passed());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = doc(&[("fig8", "mcf", "Alecto", 1.0, 1.0)]);
+        let cand = doc(&[("fig8", "mcf", "Alecto", 2.0, 3.0)]);
+        assert!(compare_reports(&base, &cand, 0.0).unwrap().passed());
+    }
+
+    #[test]
+    fn ipc_regressions_are_gated_independently_of_speedup() {
+        // Speedup is a ratio: baseline and candidate can both slow down and
+        // keep the ratio flat — the absolute IPC field catches that.
+        let base = doc(&[("fig8", "mcf", "Alecto", 1.2, 1.0)]);
+        let cand = doc(&[("fig8", "mcf", "Alecto", 1.2, 0.5)]);
+        let cmp = compare_reports(&base, &cand, 5.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].metric, "ipc");
+    }
+
+    #[test]
+    fn only_shared_cells_are_gated() {
+        let base = doc(&[("fig8", "mcf", "Alecto", 1.2, 0.8), ("fig9", "x", "IPCP", 1.5, 1.0)]);
+        let cand = doc(&[("fig8", "mcf", "Alecto", 1.2, 0.8), ("stress", "y", "Alecto", 0.1, 0.1)]);
+        let cmp = compare_reports(&base, &cand, 5.0).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.shared_cells, 1);
+        assert_eq!(cmp.baseline_only, 1);
+        assert_eq!(cmp.candidate_only, 1);
+    }
+
+    #[test]
+    fn v1_documents_are_accepted() {
+        let text = doc(&[("fig8", "mcf", "Alecto", 1.2, 0.8)])
+            .replace("alecto-bench-v2", "alecto-bench-v1");
+        assert!(compare_reports(&text, &text, 5.0).unwrap().passed());
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors() {
+        let good = doc(&[("fig8", "mcf", "Alecto", 1.2, 0.8)]);
+        assert!(compare_reports("not json", &good, 5.0).unwrap_err().starts_with("baseline:"));
+        assert!(compare_reports(&good, "{}", 5.0).unwrap_err().starts_with("candidate:"));
+        let wrong_schema = good.replace("alecto-bench-v2", "other-schema");
+        assert!(compare_reports(&wrong_schema, &good, 5.0)
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(compare_reports(&good, &good, f64::NAN).is_err());
+        assert!(compare_reports(&good, &good, -1.0).is_err());
+        let missing_metric = good.replace("\"speedup\":1.2,", "");
+        assert!(compare_reports(&missing_metric, &good, 5.0).unwrap_err().contains("speedup"));
+    }
+
+    #[test]
+    fn degenerate_baselines_are_skipped() {
+        let base = doc(&[("fig8", "mcf", "Alecto", 0.0, -1.0)]);
+        let cand = doc(&[("fig8", "mcf", "Alecto", 0.0, 0.0)]);
+        assert!(compare_reports(&base, &cand, 0.0).unwrap().passed());
+    }
+
+    #[test]
+    fn null_metrics_are_skipped_not_fatal() {
+        // The emitter writes non-finite numbers as null; one such cell must
+        // not take down the whole gate — the other cells stay gated.
+        let base = doc(&[("fig8", "mcf", "Alecto", 1.0, 1.0), ("fig8", "lbm", "IPCP", 2.0, 2.0)])
+            .replace("\"speedup\":1,", "\"speedup\":null,");
+        let cand = doc(&[("fig8", "mcf", "Alecto", 1.0, 1.0), ("fig8", "lbm", "IPCP", 0.5, 2.0)]);
+        let cmp = compare_reports(&base, &cand, 5.0).unwrap();
+        assert_eq!(cmp.shared_cells, 2, "the null cell still counts as shared");
+        assert_eq!(cmp.regressions.len(), 1, "the finite cell is still gated");
+        assert_eq!(cmp.regressions[0].key.1, "lbm");
+        // A null on the candidate side where the baseline was healthy is a
+        // full regression (the metric vanished), not a skip.
+        let null_cand = cand.replace("\"ipc\":1,", "\"ipc\":null,");
+        let cmp = compare_reports(&cand, &null_cand, 5.0).unwrap();
+        assert!(cmp.regressions.iter().any(|r| {
+            r.key.1 == "mcf" && r.metric == "ipc" && r.candidate.is_nan() && r.delta_pct == -100.0
+        }));
+    }
+}

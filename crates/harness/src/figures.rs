@@ -836,6 +836,83 @@ pub fn stress(scale: &RunScale) -> Experiment {
     )
 }
 
+/// The `timing` experiment: the cycle-level model's knobs made visible.
+/// One benchmark per scenario family (paper anchor, pointer chasing, web
+/// serving, database scan) is swept under a *latency-sensitive* DRAM
+/// admission queue (`@lat`, four fills admitted per cycle) and a
+/// *bandwidth-bound* one (`@bw`, one fill per sixteen cycles), reporting
+/// speedup, IPC and average memory-access latency per cell — the v2 report
+/// fields CI's perf gate tracks.
+#[must_use]
+pub fn timing(scale: &RunScale) -> Experiment {
+    let algorithms =
+        [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto];
+    let configs = [
+        ("lat", memsys::TimingParams::latency_sensitive()),
+        ("bw", memsys::TimingParams::bandwidth_bound()),
+    ];
+    let mut grids = Vec::new();
+    for (tag, timing) in configs {
+        let config = SystemConfig::with_timing(1, timing);
+        let sources: Vec<TraceSource> = [
+            traces::spec06::source("mcf", scale.accesses),
+            traces::gc::source("linked-list", scale.accesses),
+            traces::web::source("web-cache", scale.accesses),
+            traces::db::source("seq-scan", scale.accesses),
+        ]
+        .into_iter()
+        .map(|s| {
+            let name = format!("{}@{tag}", s.name());
+            s.with_name(name)
+        })
+        .collect();
+        grids.push(run_single_core_suite(
+            &sources,
+            &algorithms,
+            CompositeKind::GsCsPmp,
+            &config,
+            scale.jobs,
+        ));
+    }
+    let merged = merge_grids(grids);
+    let mut table = Table::new(vec![
+        "benchmark",
+        "algorithm",
+        "speedup",
+        "IPC",
+        "avg mem lat",
+        "base IPC",
+        "base lat",
+    ]);
+    for bench in &merged.benchmarks {
+        let base_ipc = bench.baseline.geomean_ipc().unwrap_or(f64::NAN);
+        let base_lat = bench.baseline.avg_mem_latency();
+        for algo in &bench.algorithms {
+            table.push_row(vec![
+                bench.benchmark.clone(),
+                algo.algorithm.clone(),
+                format!("{:.3}", algo.speedup),
+                format!("{:.3}", algo.report.geomean_ipc().unwrap_or(f64::NAN)),
+                format!("{:.1}", algo.report.avg_mem_latency()),
+                format!("{base_ipc:.3}"),
+                format!("{base_lat:.1}"),
+            ]);
+        }
+    }
+    Experiment::new(
+        "timing",
+        "Latency-sensitive vs bandwidth-bound timing sweep (cycle model)",
+        table,
+    )
+    .with_grid(&merged)
+    .with_note(
+        "@lat admits 4 DRAM fills/cycle (latency-limited); @bw admits 1 per 16 cycles \
+         (bandwidth-limited): the same trace shows higher average memory latency and lower \
+         IPC under @bw",
+    )
+    .with_note("cells carry the alecto-bench-v2 fields: instructions, cycles, avg_mem_latency")
+}
+
 /// Every experiment, in paper order (used by `alecto-harness all`).
 #[must_use]
 pub fn all(scale: &RunScale) -> Vec<Experiment> {
@@ -860,6 +937,7 @@ pub fn all(scale: &RunScale) -> Vec<Experiment> {
         fig19(scale),
         fig20(scale),
         stress(scale),
+        timing(scale),
     ]
 }
 
@@ -909,6 +987,36 @@ mod tests {
         }
         // Grid cells are exported for the JSON report.
         assert!(!e.cells.is_empty());
+    }
+
+    #[test]
+    fn timing_experiment_contrasts_latency_and_bandwidth_regimes() {
+        let scale = RunScale::with_accesses(600, 300).with_jobs(2);
+        let e = timing(&scale);
+        // Every family appears under both timing configurations.
+        for bench in ["mcf", "linked-list", "web-cache", "seq-scan"] {
+            for tag in ["lat", "bw"] {
+                let row = format!("{bench}@{tag}");
+                assert!(e.table.rows.iter().any(|r| r[0] == row), "timing table is missing {row}");
+            }
+        }
+        // Cells carry the v2 timing fields, and the bandwidth-bound variant
+        // of the streaming database scan shows the higher memory latency.
+        assert_eq!(e.cells.len(), 2 * 4 * 3);
+        assert!(e.cells.iter().all(|c| c.cycles > 0 && c.avg_mem_latency > 0.0));
+        let lat_of = |name: &str| {
+            e.cells
+                .iter()
+                .find(|c| c.benchmark == name && c.algorithm == "IPCP")
+                .map(|c| c.avg_mem_latency)
+                .unwrap_or_else(|| panic!("missing cell {name}"))
+        };
+        assert!(
+            lat_of("seq-scan@bw") > lat_of("seq-scan@lat"),
+            "bandwidth-bound scan must expose queueing latency ({} vs {})",
+            lat_of("seq-scan@bw"),
+            lat_of("seq-scan@lat")
+        );
     }
 
     #[test]

@@ -19,11 +19,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod energy;
 pub mod figures;
 pub mod report;
 pub mod runner;
 
+pub use compare::{compare_reports, Comparison, DEFAULT_TOLERANCE_PCT};
 pub use energy::{EnergyModel, HierarchyEnergy};
-pub use report::{experiments_to_json, Experiment, GridCell, Table, JSON_SCHEMA};
-pub use runner::{effective_jobs, RunScale, SpeedupGrid};
+pub use report::{
+    experiments_to_json, Experiment, GridCell, Table, JSON_SCHEMA, JSON_SCHEMA_PREFIX,
+};
+pub use runner::{effective_jobs, worker_count, RunScale, SpeedupGrid};

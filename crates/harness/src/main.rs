@@ -1,13 +1,20 @@
-//! `alecto-harness` — regenerate the paper's tables and figures.
+//! `alecto-harness` — regenerate the paper's tables and figures, and gate
+//! performance regressions between report files.
 //!
 //! ```text
 //! alecto-harness <experiment> [--accesses N] [--multicore-accesses N]
 //!                [--quick] [--jobs N] [--json PATH]
+//! alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]
 //!
 //! experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12
 //!              fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext
-//!              stress all quick
+//!              stress timing all quick
 //! ```
+//!
+//! `compare` exits 0 when every cell shared by the two reports keeps its
+//! speedup and IPC within the tolerance (default 5%) below the baseline, 1
+//! with a per-cell diff table when any cell regressed, and 2 on usage or
+//! parse errors. CI runs it against the committed `BENCH_*.json` baselines.
 //!
 //! Flag interaction is explicit and position-independent:
 //!
@@ -21,7 +28,7 @@
 //! engine (default: one per available hardware thread). It changes
 //! wall-clock only — results are byte-identical for every worker count.
 //! `--json PATH` additionally writes the machine-readable
-//! `alecto-bench-v1` report to `PATH`.
+//! `alecto-bench-v2` report to `PATH`.
 
 use harness::figures;
 use harness::report::experiments_to_json;
@@ -31,9 +38,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: alecto-harness <experiment> [--accesses N] [--multicore-accesses N] [--quick]\n\
          \x20                  [--jobs N] [--json PATH]\n\
+         \x20      alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]\n\
          experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12\n\
          \x20            fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext\n\
-         \x20            stress all quick\n\
+         \x20            stress timing all quick\n\
          flags:\n\
          \x20 --accesses N            single-core accesses; the multi-core per-core budget\n\
          \x20                         is derived as max(N / 3, 100) unless overridden\n\
@@ -41,10 +49,78 @@ fn usage() -> ! {
          \x20 --quick                 use the reduced CI scale (same as the `quick` experiment)\n\
          \x20 --jobs N                worker threads (N >= 1; default: available parallelism);\n\
          \x20                         never changes results, only wall-clock\n\
-         \x20 --json PATH             also write the alecto-bench-v1 JSON report to PATH\n\
-         \x20                         (the path must be creatable — checked up front)"
+         \x20 --json PATH             also write the alecto-bench-v2 JSON report to PATH\n\
+         \x20                         (the path must be creatable — checked up front)\n\
+         \x20 --tolerance PCT         compare: allowed speedup/IPC drop below the baseline\n\
+         \x20                         in percent (default 5); exits 0 in-tolerance, 1 on\n\
+         \x20                         regression with a per-cell diff, 2 on usage/parse errors"
     );
     std::process::exit(2);
+}
+
+/// The `compare` subcommand: gate `candidate` against `baseline`.
+/// Exit codes: 0 pass, 1 regression, 2 usage/parse error.
+fn run_compare(args: &[String]) -> ! {
+    let mut tolerance = harness::DEFAULT_TOLERANCE_PCT;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                let Some(value) = args.get(i) else { usage() };
+                match value.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t >= 0.0 => tolerance = t,
+                    _ => {
+                        eprintln!("error: --tolerance {value}: not a non-negative percentage");
+                        usage();
+                    }
+                }
+            }
+            flag if flag.starts_with('-') => usage(),
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths[..] else { usage() };
+    let read = |path: &String| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|err| {
+            eprintln!("error: cannot read {path}: {err}");
+            usage();
+        })
+    };
+    let baseline = read(baseline_path);
+    let candidate = read(candidate_path);
+    match harness::compare_reports(&baseline, &candidate, tolerance) {
+        Err(err) => {
+            eprintln!("error: {err}");
+            usage();
+        }
+        Ok(comparison) => {
+            println!(
+                "compared {} shared cell(s) ({} baseline-only, {} candidate-only) \
+                 at {tolerance}% tolerance",
+                comparison.shared_cells, comparison.baseline_only, comparison.candidate_only
+            );
+            // A comparison that gates nothing must not read as a pass: a
+            // renamed experiment or benchmark set would otherwise silently
+            // disarm the CI perf gate.
+            if comparison.shared_cells == 0 {
+                eprintln!(
+                    "error: the reports share no cells — wrong file pair, or the baseline \
+                     needs refreshing"
+                );
+                std::process::exit(2);
+            }
+            if comparison.passed() {
+                println!("PASS: no cell regressed beyond tolerance");
+                std::process::exit(0);
+            }
+            println!("FAIL: {} metric(s) regressed beyond tolerance", comparison.regressions.len());
+            println!("{}", comparison.diff_table().render());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn parse_flag_value<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
@@ -56,6 +132,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "compare" {
+        run_compare(&args[1..]);
     }
     let mut quick = false;
     let mut accesses_override: Option<usize> = None;
@@ -145,6 +224,7 @@ fn main() {
         "fig20" => vec![figures::fig20(&scale)],
         "bandit-ext" | "vi_h" => vec![figures::bandit_extended(&scale)],
         "stress" => vec![figures::stress(&scale)],
+        "timing" => vec![figures::timing(&scale)],
         "all" | "quick" => figures::all(&scale),
         _ => usage(),
     };

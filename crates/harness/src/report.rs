@@ -12,7 +12,16 @@ use crate::runner::SpeedupGrid;
 
 /// Version tag embedded in every JSON report so downstream tooling can
 /// detect schema changes.
-pub const JSON_SCHEMA: &str = "alecto-bench-v1";
+///
+/// `v2` extends every grid cell of `v1` with the cycle-level timing fields
+/// (`instructions`, `cycles`, `avg_mem_latency`); the `compare` subcommand
+/// accepts both versions since the gated metrics (speedup, IPC) exist in
+/// each.
+pub const JSON_SCHEMA: &str = "alecto-bench-v2";
+
+/// Prefix every supported schema version starts with (see
+/// [`crate::compare`]).
+pub const JSON_SCHEMA_PREFIX: &str = "alecto-bench-v";
 
 /// A simple column-aligned text table.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +124,12 @@ pub struct GridCell {
     pub hierarchy_nj: f64,
     /// Prefetcher-table energy (nJ, default energy model).
     pub prefetcher_nj: f64,
+    /// Total instructions retired across all cores (`v2`).
+    pub instructions: u64,
+    /// Total simulated cycles — the slowest core's retirement time (`v2`).
+    pub cycles: u64,
+    /// Average load-to-use latency per demand access, in cycles (`v2`).
+    pub avg_mem_latency: f64,
 }
 
 impl GridCell {
@@ -122,7 +137,8 @@ impl GridCell {
         format!(
             "{{\"benchmark\":{},\"memory_intensive\":{},\"algorithm\":{},\"speedup\":{},\
              \"ipc\":{},\"baseline_ipc\":{},\"accuracy\":{},\"coverage\":{},\
-             \"hierarchy_nj\":{},\"prefetcher_nj\":{}}}",
+             \"hierarchy_nj\":{},\"prefetcher_nj\":{},\
+             \"instructions\":{},\"cycles\":{},\"avg_mem_latency\":{}}}",
             json::string(&self.benchmark),
             self.memory_intensive,
             json::string(&self.algorithm),
@@ -133,6 +149,9 @@ impl GridCell {
             json::number(self.coverage),
             json::number(self.hierarchy_nj),
             json::number(self.prefetcher_nj),
+            self.instructions,
+            self.cycles,
+            json::number(self.avg_mem_latency),
         )
     }
 }
@@ -161,6 +180,9 @@ pub fn grid_cells(grid: &SpeedupGrid) -> Vec<GridCell> {
                 coverage: quality.coverage(),
                 hierarchy_nj: energy.hierarchy_nj,
                 prefetcher_nj: energy.prefetcher_nj,
+                instructions: algo.report.total_instructions(),
+                cycles: algo.report.total_cycles(),
+                avg_mem_latency: algo.report.avg_mem_latency(),
             });
         }
     }
@@ -238,7 +260,7 @@ impl Experiment {
 }
 
 /// Serialises a full harness run — every experiment, in run order — into the
-/// `alecto-bench-v1` JSON document written by `alecto-harness --json`.
+/// `alecto-bench-v2` JSON document written by `alecto-harness --json`.
 #[must_use]
 pub fn experiments_to_json(experiments: &[Experiment]) -> String {
     format!(
@@ -634,6 +656,43 @@ mod tests {
     }
 
     #[test]
+    fn v2_timing_fields_round_trip_through_emitter_and_parser() {
+        let cell = GridCell {
+            benchmark: "stream".into(),
+            memory_intensive: true,
+            algorithm: "Alecto".into(),
+            speedup: 1.25,
+            ipc: 2.5,
+            baseline_ipc: 2.0,
+            accuracy: 0.9,
+            coverage: 0.8,
+            hierarchy_nj: 123.5,
+            prefetcher_nj: 4.25,
+            instructions: 123_456_789_012,
+            cycles: 98_765_432_109,
+            avg_mem_latency: 17.375,
+        };
+        let mut e = Experiment::new("timing", "Timing sweep", Table::new(vec!["x"]));
+        e.cells.push(cell.clone());
+        let doc = experiments_to_json(&[e]);
+        let parsed = json::parse(&doc).expect("v2 report must parse");
+        assert_eq!(parsed.get("schema").and_then(JsonValue::as_str), Some("alecto-bench-v2"));
+        let c = parsed.get("experiments").and_then(JsonValue::as_array).unwrap()[0]
+            .get("cells")
+            .and_then(JsonValue::as_array)
+            .unwrap()[0]
+            .clone();
+        // Every field — v1 and v2 alike — survives the round trip exactly
+        // (the chosen values are all exactly representable in f64).
+        assert_eq!(c.get("instructions").and_then(JsonValue::as_f64), Some(123_456_789_012.0));
+        assert_eq!(c.get("cycles").and_then(JsonValue::as_f64), Some(98_765_432_109.0));
+        assert_eq!(c.get("avg_mem_latency").and_then(JsonValue::as_f64), Some(17.375));
+        assert_eq!(c.get("speedup").and_then(JsonValue::as_f64), Some(1.25));
+        assert_eq!(c.get("ipc").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(c.get("memory_intensive").and_then(JsonValue::as_bool), Some(true));
+    }
+
+    #[test]
     fn json_number_maps_non_finite_to_null() {
         assert_eq!(json::number(1.5), "1.5");
         assert_eq!(json::number(f64::NAN), "null");
@@ -686,6 +745,9 @@ mod tests {
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.benchmark == "lbm" && c.speedup.is_finite()));
         assert!(cells.iter().any(|c| c.algorithm == "Alecto"));
+        // The v2 timing fields are populated from the run, not defaulted.
+        assert!(cells.iter().all(|c| c.instructions > 0 && c.cycles > 0));
+        assert!(cells.iter().all(|c| c.avg_mem_latency > 0.0));
         let e = Experiment::new("x", "y", Table::new(vec!["a"])).with_grid(&grid);
         assert_eq!(e.cells.len(), 2);
         let doc = experiments_to_json(&[e]);

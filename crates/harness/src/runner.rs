@@ -84,6 +84,15 @@ pub fn effective_jobs(requested: usize) -> usize {
     }
 }
 
+/// Worker threads actually spawned for `job_count` jobs under a requested
+/// `--jobs` value: the resolved count clamped to the number of jobs, so
+/// `--jobs 64` on a 6-cell grid spawns 6 workers, not 64 mostly-idle
+/// threads (and never fewer than one).
+#[must_use]
+pub fn worker_count(requested: usize, job_count: usize) -> usize {
+    effective_jobs(requested).min(job_count).max(1)
+}
+
 /// One independent simulation cell: one algorithm (or the baseline) over one
 /// trace-source assignment under one system configuration. Sources are lazy:
 /// the cell regenerates its records on its worker thread, so a sweep's
@@ -110,7 +119,7 @@ fn run_job(job: &Job<'_>) -> SystemReport {
 ///
 /// Panics if a worker thread panics (the cell's own panic is propagated).
 fn execute_jobs(jobs: &[Job<'_>], requested_workers: usize) -> Vec<SystemReport> {
-    let workers = effective_jobs(requested_workers).min(jobs.len()).max(1);
+    let workers = worker_count(requested_workers, jobs.len());
     if workers == 1 {
         return jobs.iter().map(run_job).collect();
     }
@@ -395,6 +404,18 @@ mod tests {
     fn effective_jobs_resolves_auto() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_job_count() {
+        // --jobs 64 on a 6-cell grid spawns 6 workers, not 64 idle threads.
+        assert_eq!(worker_count(64, 6), 6);
+        assert_eq!(worker_count(4, 6), 4);
+        // Degenerate grids still get one worker.
+        assert_eq!(worker_count(8, 0), 1);
+        // Auto resolution is clamped the same way.
+        assert!(worker_count(0, 2) <= 2);
+        assert!(worker_count(0, 1_000_000) >= 1);
     }
 
     #[test]

@@ -121,6 +121,19 @@ fn stress_experiment_sweeps_access_counts() {
 }
 
 #[test]
+fn timing_experiment_contrasts_both_regimes() {
+    let output =
+        harness().args(["timing", "--accesses", "200", "--jobs", "2"]).output().expect("spawn");
+    assert!(output.status.success(), "timing must exit 0, got {:?}", output.status);
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 report");
+    assert!(stdout.contains("== timing "), "missing timing header:\n{stdout}");
+    for row in ["mcf@lat", "mcf@bw", "seq-scan@lat", "seq-scan@bw"] {
+        assert!(stdout.contains(row), "timing table is missing {row}:\n{stdout}");
+    }
+    assert!(stdout.contains("avg mem lat"), "latency column missing:\n{stdout}");
+}
+
+#[test]
 fn unknown_experiment_exits_two_with_usage() {
     let output = harness().arg("fig99").output().expect("spawn harness");
     assert_eq!(output.status.code(), Some(2));

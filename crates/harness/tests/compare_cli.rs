@@ -1,0 +1,184 @@
+//! End-to-end tests for the `alecto-harness compare` perf gate: the exact
+//! exit-code contract CI's `perf-gate` job relies on — 0 in tolerance, 1 on
+//! regression (with a per-cell diff table), 2 on usage or parse errors.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alecto-harness"))
+}
+
+/// A minimal but schema-complete report with one grid-backed experiment.
+fn report_doc(speedup: f64, ipc: f64) -> String {
+    format!(
+        "{{\"schema\":\"alecto-bench-v2\",\"experiments\":[{{\"id\":\"fig8\",\
+         \"title\":\"t\",\"notes\":[],\"table\":{{\"headers\":[],\"rows\":[]}},\
+         \"cells\":[{{\"benchmark\":\"mcf\",\"memory_intensive\":true,\
+         \"algorithm\":\"Alecto\",\"speedup\":{speedup},\"ipc\":{ipc},\
+         \"baseline_ipc\":1.0,\"accuracy\":0.5,\"coverage\":0.5,\
+         \"hierarchy_nj\":1.0,\"prefetcher_nj\":1.0,\"instructions\":1000,\
+         \"cycles\":800,\"avg_mem_latency\":12.5}}]}}]}}\n"
+    )
+}
+
+fn write_temp(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("alecto-compare-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write fixture");
+    path
+}
+
+#[test]
+fn identical_reports_exit_zero() {
+    let base = write_temp("eq-base.json", &report_doc(1.20, 0.80));
+    let cand = write_temp("eq-cand.json", &report_doc(1.20, 0.80));
+    let output = harness().arg("compare").args([&base, &cand]).output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(0), "identical reports must pass");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("PASS"), "pass verdict missing:\n{stdout}");
+    assert!(stdout.contains("1 shared cell"), "cell count missing:\n{stdout}");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(cand);
+}
+
+#[test]
+fn injected_regression_exits_one_with_diff_table() {
+    // The injected-regression fixture: candidate speedup is 25% below the
+    // baseline — far outside any sane tolerance — so the gate must fail
+    // and name the offending cell and metric.
+    let base = write_temp("reg-base.json", &report_doc(1.20, 0.80));
+    let cand = write_temp("reg-cand.json", &report_doc(0.90, 0.80));
+    let output = harness()
+        .arg("compare")
+        .args([&base, &cand])
+        .args(["--tolerance", "5"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(output.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("FAIL"), "fail verdict missing:\n{stdout}");
+    for needle in ["fig8", "mcf", "Alecto", "speedup", "-25.00%"] {
+        assert!(stdout.contains(needle), "diff table is missing {needle:?}:\n{stdout}");
+    }
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(cand);
+}
+
+#[test]
+fn regression_within_explicit_tolerance_exits_zero() {
+    let base = write_temp("tol-base.json", &report_doc(1.00, 1.00));
+    let cand = write_temp("tol-cand.json", &report_doc(0.90, 0.92));
+    let output = harness()
+        .arg("compare")
+        .args([&base, &cand])
+        .args(["--tolerance", "15"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(output.status.code(), Some(0), "a 10% drop passes a 15% tolerance");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(cand);
+}
+
+#[test]
+fn usage_and_parse_errors_exit_two() {
+    let good = write_temp("err-good.json", &report_doc(1.0, 1.0));
+    let bad = write_temp("err-bad.json", "this is not json");
+
+    // Missing operands.
+    let output = harness().arg("compare").output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("usage: alecto-harness"), "usage missing:\n{stderr}");
+
+    // Only one operand.
+    let output = harness().arg("compare").arg(&good).output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2));
+
+    // Nonexistent file.
+    let output = harness()
+        .arg("compare")
+        .arg(&good)
+        .arg("/nonexistent-dir-xyz/report.json")
+        .output()
+        .expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("cannot read"), "io error not surfaced:\n{stderr}");
+
+    // Malformed candidate JSON.
+    let output = harness().arg("compare").args([&good, &bad]).output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("candidate:"), "side of the error not named:\n{stderr}");
+
+    // Malformed tolerance values.
+    for tolerance in ["-3", "lots", ""] {
+        let output = harness()
+            .arg("compare")
+            .args([&good, &good])
+            .args(["--tolerance", tolerance])
+            .output()
+            .expect("spawn harness");
+        assert_eq!(output.status.code(), Some(2), "--tolerance {tolerance:?} must be rejected");
+    }
+
+    // Unknown flags.
+    let output = harness()
+        .arg("compare")
+        .args([&good, &good])
+        .arg("--bogus")
+        .output()
+        .expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(good);
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn disjoint_reports_exit_two_not_pass() {
+    // A comparison that gates nothing must not read as a pass — a renamed
+    // experiment id would otherwise silently disarm the CI perf gate.
+    let base = write_temp("disj-base.json", &report_doc(1.0, 1.0));
+    let renamed = report_doc(1.0, 1.0).replace("\"id\":\"fig8\"", "\"id\":\"fig8-renamed\"");
+    let cand = write_temp("disj-cand.json", &renamed);
+    let output = harness().arg("compare").args([&base, &cand]).output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2), "zero shared cells must not pass");
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("share no cells"), "cause not named:\n{stderr}");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(cand);
+}
+
+#[test]
+fn real_reports_round_trip_through_the_gate() {
+    // Generate two real (tiny) reports with the harness itself and gate one
+    // against the other: same binary, same seed, same scale — must pass at
+    // zero tolerance. This is exactly the CI perf-gate flow in miniature.
+    let dir = std::env::temp_dir();
+    let base = dir.join(format!("alecto-gate-base-{}.json", std::process::id()));
+    let cand = dir.join(format!("alecto-gate-cand-{}.json", std::process::id()));
+    for path in [&base, &cand] {
+        let output = harness()
+            .args(["stress", "--accesses", "120", "--jobs", "2", "--json"])
+            .arg(path)
+            .output()
+            .expect("spawn harness");
+        assert!(output.status.success(), "report generation failed: {:?}", output.status);
+    }
+    let output = harness()
+        .arg("compare")
+        .args([&base, &cand])
+        .args(["--tolerance", "0"])
+        .output()
+        .expect("spawn harness");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "deterministic reruns must pass a zero-tolerance gate:\n{stdout}"
+    );
+    assert!(!stdout.contains("compared 0 shared cell"), "gate compared nothing:\n{stdout}");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(cand);
+}

@@ -47,7 +47,8 @@ fn quick_json_report_is_complete_and_well_formed() {
         experiments(&doc).iter().filter_map(|e| e.get("id").and_then(JsonValue::as_str)).collect();
     for id in [
         "fig1", "fig2", "table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "table3", "vi_h", "fig18", "fig19", "fig20",
+        "fig14", "fig15", "fig16", "fig17", "table3", "vi_h", "fig18", "fig19", "fig20", "stress",
+        "timing",
     ] {
         assert!(ids.contains(&id), "missing {id} in {ids:?}");
     }
@@ -80,6 +81,15 @@ fn quick_json_report_is_complete_and_well_formed() {
                 for metric in ["ipc", "baseline_ipc", "accuracy", "coverage", "hierarchy_nj"] {
                     let v = cell.get(metric).and_then(JsonValue::as_f64);
                     assert!(v.is_some(), "{id}: {bench} × {algo} missing {metric}");
+                }
+                // The v2 timing fields: every simulated cell retired real
+                // instructions over real cycles and saw real memory latency.
+                for metric in ["instructions", "cycles", "avg_mem_latency"] {
+                    let v = cell.get(metric).and_then(JsonValue::as_f64).unwrap_or(f64::NAN);
+                    assert!(
+                        v.is_finite() && v > 0.0,
+                        "{id}: {bench} × {algo} {metric} {v} not finite-positive"
+                    );
                 }
             }
         }

@@ -443,6 +443,7 @@ mod tests {
             size_bytes: (ways * sets) as u64 * alecto_types::CACHE_LINE_BYTES,
             ways,
             latency: 4,
+            miss_latency: 1,
             mshrs: 4,
         })
     }
@@ -561,6 +562,7 @@ mod tests {
             size_bytes: 3 * alecto_types::CACHE_LINE_BYTES,
             ways: 1,
             latency: 1,
+            miss_latency: 1,
             mshrs: 1,
         });
     }

@@ -25,8 +25,13 @@ pub struct CacheParams {
     pub size_bytes: u64,
     /// Associativity (number of ways).
     pub ways: usize,
-    /// Round-trip load-to-use latency in core cycles.
+    /// Round-trip load-to-use latency of a *hit* at this level, in core
+    /// cycles.
     pub latency: u64,
+    /// Extra tag-check cycles a request pays at this level when it *misses*
+    /// and has to be forwarded outward (the lookup is not free: the request
+    /// occupies the tag pipeline before the miss is known).
+    pub miss_latency: u64,
     /// Number of MSHRs (maximum outstanding misses).
     pub mshrs: usize,
 }
@@ -76,25 +81,29 @@ impl CacheParams {
     }
 
     /// Table I: 32 KB, 8-way L1 data cache, 4-cycle round trip, 16 MSHRs.
+    /// A miss costs one extra tag-check cycle before escalating.
     #[must_use]
     pub const fn l1d_default() -> Self {
-        Self { size_bytes: 32 * 1024, ways: 8, latency: 4, mshrs: 16 }
+        Self { size_bytes: 32 * 1024, ways: 8, latency: 4, miss_latency: 1, mshrs: 16 }
     }
 
-    /// Table I: 256 KB, 8-way L2, 15-cycle round trip, 32 MSHRs.
+    /// Table I: 256 KB, 8-way L2, 15-cycle round trip, 32 MSHRs, 2-cycle
+    /// miss escalation.
     #[must_use]
     pub const fn l2_default() -> Self {
-        Self { size_bytes: 256 * 1024, ways: 8, latency: 15, mshrs: 32 }
+        Self { size_bytes: 256 * 1024, ways: 8, latency: 15, miss_latency: 2, mshrs: 32 }
     }
 
     /// Table I: 2 MB per core, 16-way shared L3, 35-cycle round trip,
-    /// 64 MSHRs per LLC bank (one bank per core in this model).
+    /// 64 MSHRs per LLC bank (one bank per core in this model), 4-cycle miss
+    /// escalation before the request heads off-chip.
     #[must_use]
     pub fn l3_default(cores: usize) -> Self {
         Self {
             size_bytes: 2 * 1024 * 1024 * cores as u64,
             ways: 16,
             latency: 35,
+            miss_latency: 4,
             mshrs: 64 * cores,
         }
     }
@@ -202,6 +211,8 @@ pub struct HierarchyParams {
     pub l3: CacheParams,
     /// DRAM parameters.
     pub dram: DramParams,
+    /// System-level timing knobs (DRAM admission/bandwidth queue).
+    pub timing: crate::timing::TimingParams,
 }
 
 impl HierarchyParams {
@@ -220,6 +231,7 @@ impl HierarchyParams {
         for (label, level) in [("L1D", &self.l1d), ("L2", &self.l2), ("L3", &self.l3)] {
             level.validate().map_err(|e| format!("{label}: {e}"))?;
         }
+        self.timing.validate().map_err(|e| format!("timing: {e}"))?;
         Ok(())
     }
 
@@ -243,6 +255,7 @@ impl HierarchyParams {
             l2: CacheParams::l2_default(),
             l3: CacheParams::l3_default(cores),
             dram,
+            timing: crate::timing::TimingParams::default(),
         }
     }
 
@@ -265,6 +278,16 @@ impl HierarchyParams {
         } else {
             DramParams::multi_core(kind, cores)
         };
+        p
+    }
+
+    /// Same as [`HierarchyParams::skylake_like`] but with explicit timing
+    /// knobs (the `timing` experiment sweeps latency-sensitive vs
+    /// bandwidth-bound DRAM admission rates).
+    #[must_use]
+    pub fn with_timing(cores: usize, timing: crate::timing::TimingParams) -> Self {
+        let mut p = Self::skylake_like(cores);
+        p.timing = timing;
         p
     }
 }
@@ -323,16 +346,17 @@ mod tests {
     #[test]
     fn non_power_of_two_sets_are_rejected() {
         // 3 sets × 1 way × 64 B: the mask `line & 2` would alias set 2 away.
-        let bad = CacheParams { size_bytes: 3 * 64, ways: 1, latency: 1, mshrs: 1 };
+        let bad =
+            CacheParams { size_bytes: 3 * 64, ways: 1, latency: 1, miss_latency: 1, mshrs: 1 };
         let err = bad.validate().unwrap_err();
         assert!(err.contains("power of two"), "unexpected message: {err}");
         assert!(err.contains("alias"), "the error must explain the mask aliasing: {err}");
         // Degenerate geometries are caught too.
-        assert!(CacheParams { size_bytes: 0, ways: 1, latency: 1, mshrs: 1 }
+        assert!(CacheParams { size_bytes: 0, ways: 1, latency: 1, miss_latency: 1, mshrs: 1 }
             .validate()
             .unwrap_err()
             .contains("at least one set"));
-        assert!(CacheParams { size_bytes: 64, ways: 0, latency: 1, mshrs: 1 }
+        assert!(CacheParams { size_bytes: 64, ways: 0, latency: 1, miss_latency: 1, mshrs: 1 }
             .validate()
             .unwrap_err()
             .contains("at least one way"));
@@ -347,7 +371,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_panic_at_construction() {
-        let _ = CacheParams { size_bytes: 3 * 64, ways: 1, latency: 1, mshrs: 1 }.num_sets();
+        let _ = CacheParams { size_bytes: 3 * 64, ways: 1, latency: 1, miss_latency: 1, mshrs: 1 }
+            .num_sets();
     }
 
     #[test]
@@ -357,6 +382,17 @@ mod tests {
         let err = h.validate().unwrap_err();
         assert!(err.starts_with("L2:"), "level must be named: {err}");
         assert!(HierarchyParams::skylake_like(8).validate().is_ok());
+    }
+
+    #[test]
+    fn hierarchy_validation_covers_timing() {
+        let mut h = HierarchyParams::skylake_like(1);
+        h.timing.dram_drain_period = 0;
+        let err = h.validate().unwrap_err();
+        assert!(err.starts_with("timing:"), "timing must be named: {err}");
+        let t = HierarchyParams::with_timing(2, crate::timing::TimingParams::bandwidth_bound());
+        assert_eq!(t.timing, crate::timing::TimingParams::bandwidth_bound());
+        assert!(t.validate().is_ok());
     }
 
     #[test]

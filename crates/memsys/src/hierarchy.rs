@@ -9,6 +9,7 @@ use crate::config::{HierarchyParams, Level};
 use crate::dram::DramModel;
 use crate::mshr::MshrFile;
 use crate::stats::{CacheStats, Cycle, PrefetchQuality};
+use crate::timing::{BandwidthQueue, BandwidthQueueStats, TimingStats};
 
 /// How a demand access interacted with previously issued prefetches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,7 @@ struct CorePrivate {
     l1_mshr: MshrFile,
     l2_mshr: MshrFile,
     quality: PrefetchQuality,
+    timing: TimingStats,
 }
 
 /// The full memory hierarchy shared by all cores.
@@ -99,6 +101,9 @@ pub struct Hierarchy {
     l3: Cache,
     l3_mshr: MshrFile,
     dram: DramModel,
+    /// Memory-controller admission queue in front of the DRAM banks; demand
+    /// and prefetch fills alike consume its drain bandwidth.
+    dram_queue: BandwidthQueue,
     feedback: Vec<PrefetchFeedback>,
     prefetches_issued: u64,
     prefetches_redundant: u64,
@@ -123,12 +128,14 @@ impl Hierarchy {
                 l1_mshr: MshrFile::new(params.l1d.mshrs),
                 l2_mshr: MshrFile::new(params.l2.mshrs),
                 quality: PrefetchQuality::default(),
+                timing: TimingStats::default(),
             })
             .collect();
         Self {
             l3: Cache::new(params.l3),
             l3_mshr: MshrFile::new(params.l3.mshrs),
             dram: DramModel::new(params.dram),
+            dram_queue: BandwidthQueue::new(params.timing),
             cores,
             params,
             feedback: Vec::new(),
@@ -179,6 +186,20 @@ impl Hierarchy {
         &self.cores[core].quality
     }
 
+    /// Cycle accounting over `core`'s demand stream: access count, summed
+    /// load-to-use latency, and the MSHR/DRAM-queue stall breakdown.
+    #[must_use]
+    pub fn timing_stats(&self, core: usize) -> &TimingStats {
+        &self.cores[core].timing
+    }
+
+    /// Statistics of the DRAM admission (bandwidth) queue, shared by all
+    /// cores and by prefetch traffic.
+    #[must_use]
+    pub const fn dram_queue_stats(&self) -> &BandwidthQueueStats {
+        self.dram_queue.stats()
+    }
+
     /// Total prefetches that actually went out (not dropped as redundant).
     #[must_use]
     pub const fn prefetches_issued(&self) -> u64 {
@@ -225,6 +246,23 @@ impl Hierarchy {
 
     /// Performs a demand access, marking the line dirty when `is_store`.
     pub fn demand_access_kind(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        now: Cycle,
+        is_store: bool,
+    ) -> DemandResult {
+        let result = self.demand_access_inner(core, line, now, is_store);
+        // Cycle bookkeeping over the same deterministic stream: every demand
+        // access contributes its load-to-use latency to the per-core timing
+        // record the CPU model folds into IPC / average-latency figures.
+        let timing = &mut self.cores[core].timing;
+        timing.demand_accesses += 1;
+        timing.demand_latency_cycles += result.latency;
+        result
+    }
+
+    fn demand_access_inner(
         &mut self,
         core: usize,
         line: LineAddr,
@@ -293,10 +331,13 @@ impl Hierarchy {
         }
 
         // --- L1 miss: walk the outer levels --------------------------------
+        // Each level a request misses in costs that level's tag-check
+        // escalation penalty on top of wherever the data is finally found.
         let mut went_to_dram = false;
         let mut hit_level = None;
         let mut coverage = CoverageEvent::OnChipMiss;
         let base_latency;
+        let mut escalation = self.params.l1d.miss_latency;
         let mut fill_l2 = false;
         let mut fill_l3 = false;
 
@@ -338,6 +379,7 @@ impl Hierarchy {
         } else {
             // L3 lookup / MSHR.
             fill_l2 = true;
+            escalation += self.params.l2.miss_latency;
             let l3_meta = self.l3.demand_lookup(line, is_store);
             if let Some(meta) = l3_meta {
                 hit_level = Some(Level::L3);
@@ -373,11 +415,17 @@ impl Hierarchy {
                     }
                 }
             } else {
-                // DRAM.
+                // DRAM: the request first wins an admission slot at the
+                // memory controller (the bandwidth queue), then pays the
+                // bank/bus timing from the admitted cycle.
                 went_to_dram = true;
                 fill_l3 = true;
                 hit_level = Some(Level::Dram);
-                let dram_done = self.dram.access(line, now + l3_latency);
+                escalation += self.params.l3.miss_latency;
+                let enter = now + l3_latency;
+                let admitted = self.dram_queue.admit(enter);
+                self.cores[core].timing.dram_queue_cycles += admitted - enter;
+                let dram_done = self.dram.access(line, admitted);
                 base_latency = dram_done.saturating_sub(now);
                 self.cores[core].quality.uncovered += 1;
                 coverage = CoverageEvent::Uncovered;
@@ -385,17 +433,28 @@ impl Hierarchy {
         }
 
         // --- MSHR allocation stalls -----------------------------------------
+        // The guessed completion includes the escalation penalties so a
+        // later access that merges on the MSHR entry is never reported
+        // complete before the miss it merged into.
         let mut stall = 0;
-        let completion_guess = now + base_latency;
-        stall += self.cores[core].l1_mshr.allocate(line, completion_guess, None, now);
+        let completion_guess = now + base_latency + escalation;
+        let l1_stall = self.cores[core].l1_mshr.allocate(line, completion_guess, None, now);
+        self.cores[core].l1d.stats_mut().mshr_stall_cycles += l1_stall;
+        stall += l1_stall;
         if fill_l2 {
-            stall += self.cores[core].l2_mshr.allocate(line, completion_guess + stall, None, now);
+            let l2_stall =
+                self.cores[core].l2_mshr.allocate(line, completion_guess + stall, None, now);
+            self.cores[core].l2.stats_mut().mshr_stall_cycles += l2_stall;
+            stall += l2_stall;
         }
         if went_to_dram {
-            stall += self.l3_mshr.allocate(line, completion_guess + stall, None, now);
+            let l3_stall = self.l3_mshr.allocate(line, completion_guess + stall, None, now);
+            self.l3.stats_mut().mshr_stall_cycles += l3_stall;
+            stall += l3_stall;
             self.l3.stats_mut().demand_misses += 1;
         }
-        let latency = base_latency + stall + l1_latency.min(4);
+        self.cores[core].timing.mshr_stall_cycles += stall;
+        let latency = base_latency + escalation + stall + l1_latency.min(4);
         let completion = now + latency;
 
         // --- Fills -----------------------------------------------------------
@@ -474,17 +533,27 @@ impl Hierarchy {
             };
         }
 
-        // Find the data: L2 (when targeting L1), then L3, then DRAM.
+        // Find the data: L2 (when targeting L1), then L3, then DRAM. Each
+        // level probed and missed costs its tag-check escalation penalty,
+        // exactly as on the demand path.
         let mut went_to_dram = false;
+        let mut escalation = 0;
         let mut base_latency = match fill_level {
             FillLevel::L1 => {
                 if self.cores[core].l2.contains(line) {
                     l2_latency
                 } else {
+                    escalation += self.params.l2.miss_latency;
                     0
                 }
             }
-            FillLevel::L2 => 0,
+            FillLevel::L2 => {
+                // Reaching here means the L2 was probed (redundancy check or
+                // demotion) and missed, so it pays the same escalation as an
+                // L1-targeted request that missed the L2.
+                escalation += self.params.l2.miss_latency;
+                0
+            }
         };
         if base_latency == 0 {
             if self.l3.contains(line) {
@@ -505,10 +574,16 @@ impl Hierarchy {
                     };
                 }
                 went_to_dram = true;
-                let dram_done = self.dram.access_prefetch(line, now + l3_latency);
+                escalation += self.params.l3.miss_latency;
+                // Prefetch fills consume the same admission bandwidth as
+                // demand fills — that shared drain is what lets aggressive
+                // prefetching visibly crowd out demand traffic.
+                let admitted = self.dram_queue.admit(now + l3_latency);
+                let dram_done = self.dram.access_prefetch(line, admitted);
                 base_latency = dram_done.saturating_sub(now);
             }
         }
+        let base_latency = base_latency + escalation;
 
         let completion = now + base_latency;
         match fill_level {
@@ -684,5 +759,73 @@ mod tests {
     fn bad_core_index_panics() {
         let mut h = hier(1);
         let _ = h.demand_access(3, LineAddr::new(1), 0);
+    }
+
+    #[test]
+    fn timing_stats_account_every_demand_access() {
+        let mut h = hier(1);
+        let mut t = 0;
+        let mut latency_sum = 0;
+        for i in 0..10u64 {
+            let r = h.demand_access(0, LineAddr::new(i * 1000), t);
+            latency_sum += r.latency;
+            t = r.completion_cycle + 1;
+        }
+        let stats = h.timing_stats(0);
+        assert_eq!(stats.demand_accesses, 10);
+        assert_eq!(stats.demand_latency_cycles, latency_sum);
+        assert!(
+            stats.avg_demand_latency() > f64::from(u32::try_from(h.params().l1d.latency).unwrap())
+        );
+    }
+
+    #[test]
+    fn miss_escalation_penalties_are_charged_per_level() {
+        // An L2 hit costs the L1 miss penalty on top of the L2 latency; an
+        // L3 hit additionally costs the L2 miss penalty.
+        let mut h = hier(2);
+        let line = LineAddr::new(0x5000);
+        let r0 = h.demand_access(0, line, 0); // cold: DRAM
+                                              // Core 0 again: L1 hit, no penalty.
+        let r1 = h.demand_access(0, line, r0.completion_cycle + 1);
+        assert_eq!(r1.latency, h.params().l1d.latency);
+        // Core 1: misses its private levels, hits the shared L3.
+        let r2 = h.demand_access(1, line, r0.completion_cycle + 2);
+        assert_eq!(r2.hit_level, Some(Level::L3));
+        let p = h.params().clone();
+        assert_eq!(
+            r2.latency,
+            p.l3.latency + p.l1d.miss_latency + p.l2.miss_latency + p.l1d.latency.min(4)
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_timing_throttles_dram_streams() {
+        // The same burst of cold misses takes longer end-to-end under a
+        // bandwidth-bound admission queue than under a latency-sensitive one,
+        // and the queue's stall cycles show up in the per-core timing stats.
+        // Consecutive lines stream across banks at the channel-bus rate
+        // (~1/9 req/cycle on one DDR4 channel), so a 1/16 admission drain is
+        // the binding constraint while the latency-sensitive drain is not.
+        let run = |timing: crate::timing::TimingParams| {
+            let mut h = Hierarchy::new(HierarchyParams::with_timing(1, timing));
+            let mut done = 0;
+            for i in 0..64u64 {
+                let r = h.demand_access(0, LineAddr::new(i), 0);
+                done = done.max(r.completion_cycle);
+            }
+            (done, h.timing_stats(0).dram_queue_cycles, h.dram_queue_stats().admitted)
+        };
+        let (fast_done, fast_queue, fast_admitted) =
+            run(crate::timing::TimingParams::latency_sensitive());
+        let (slow_done, slow_queue, slow_admitted) =
+            run(crate::timing::TimingParams::bandwidth_bound());
+        assert_eq!(fast_admitted, 64);
+        assert_eq!(slow_admitted, 64);
+        assert!(
+            slow_done > fast_done,
+            "bandwidth-bound drain must stretch the burst ({slow_done} vs {fast_done})"
+        );
+        assert!(slow_queue > fast_queue, "queue stalls must be visible in timing stats");
     }
 }

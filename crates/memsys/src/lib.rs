@@ -31,6 +31,7 @@ pub mod dram;
 pub mod hierarchy;
 pub mod mshr;
 pub mod stats;
+pub mod timing;
 
 pub use cache::{Cache, EvictionInfo, LineMeta};
 pub use config::{CacheParams, DramKind, DramParams, HierarchyParams, Level};
@@ -41,3 +42,4 @@ pub use hierarchy::{
 };
 pub use mshr::{MshrEntry, MshrFile};
 pub use stats::{CacheStats, Cycle, PrefetchQuality};
+pub use timing::{BandwidthQueue, BandwidthQueueStats, TimingParams, TimingStats};

@@ -89,6 +89,7 @@ proptest! {
             size_bytes: (ways * sets) as u64 * CACHE_LINE_BYTES,
             ways,
             latency: 4,
+            miss_latency: 1,
             mshrs: 4,
         });
         let mut resident: Vec<u64> = Vec::new();
@@ -124,6 +125,7 @@ proptest! {
             size_bytes: 4 * CACHE_LINE_BYTES,
             ways: 2,
             latency: 1,
+            miss_latency: 1,
             mshrs: 2,
         });
         for line in fills {

@@ -57,6 +57,42 @@ fn serial_and_parallel_suites_are_cell_for_cell_identical() {
 }
 
 #[test]
+fn timing_fields_are_identical_across_worker_counts() {
+    // The cycle-level timing model is pure bookkeeping over the same
+    // deterministic access stream: total cycles, IPC and average
+    // memory-access latency — the fields the alecto-bench-v2 report gates —
+    // must be bit-identical at any worker count, not merely close.
+    let serial = quick_suite(1);
+    let parallel = quick_suite(4);
+    let cells = |grid: &SpeedupGrid| harness::report::grid_cells(grid);
+    let a = cells(&serial);
+    let b = cells(&parallel);
+    assert_eq!(a.len(), b.len());
+    for (ca, cb) in a.iter().zip(&b) {
+        assert_eq!(ca, cb, "v2 cell diverged: {} × {}", ca.benchmark, ca.algorithm);
+        assert!(ca.cycles > 0, "{} × {} simulated no cycles", ca.benchmark, ca.algorithm);
+        assert!(ca.instructions > 0);
+        assert!(
+            ca.avg_mem_latency > 0.0 && ca.avg_mem_latency.is_finite(),
+            "{} × {} has no memory-latency signal",
+            ca.benchmark,
+            ca.algorithm
+        );
+        assert!(ca.ipc > 0.0 && ca.ipc.is_finite());
+    }
+    // The per-core breakdown underneath agrees too, including the stall
+    // attribution (MSHR vs DRAM admission queue).
+    for (ba, bb) in serial.benchmarks.iter().zip(&parallel.benchmarks) {
+        for (ra, rb) in ba.algorithms.iter().zip(&bb.algorithms) {
+            for (ca, cb) in ra.report.cores.iter().zip(&rb.report.cores) {
+                assert_eq!(ca.timing, cb.timing, "per-core timing breakdown diverged");
+                assert_eq!(ca.cycles, cb.cycles);
+            }
+        }
+    }
+}
+
+#[test]
 fn repeated_parallel_runs_are_identical() {
     let first = quick_suite(4);
     let second = quick_suite(4);

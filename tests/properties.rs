@@ -164,7 +164,7 @@ mod cache_props {
     proptest! {
         #[test]
         fn occupancy_never_exceeds_capacity(lines in proptest::collection::vec(0u64..4096, 1..500)) {
-            let params = CacheParams { size_bytes: 8 * 1024, ways: 4, latency: 4, mshrs: 8 };
+            let params = CacheParams { size_bytes: 8 * 1024, ways: 4, latency: 4, miss_latency: 1, mshrs: 8 };
             let capacity = (params.size_bytes / 64) as usize;
             let mut cache = Cache::new(params);
             for &l in &lines {
@@ -179,7 +179,7 @@ mod cache_props {
 
         #[test]
         fn a_filled_line_hits_until_evicted(lines in proptest::collection::vec(0u64..512, 1..200)) {
-            let params = CacheParams { size_bytes: 64 * 1024, ways: 16, latency: 4, mshrs: 8 };
+            let params = CacheParams { size_bytes: 64 * 1024, ways: 16, latency: 4, miss_latency: 1, mshrs: 8 };
             let mut cache = Cache::new(params);
             for &l in &lines {
                 cache.fill(LineAddr::new(l), None, None, false);
