@@ -1,0 +1,72 @@
+//! Throughput of the `.altr` codec against the raw generator path: encoding
+//! a stream to the block/delta/varint wire format, decoding it back, and —
+//! the baseline every trace replay competes with — regenerating the same
+//! records straight from the in-process generator. Decode must stay within
+//! shouting distance of generation for file-backed experiments to be a
+//! wall-clock win (they save the *simulation-independent* generation cost on
+//! every replaying cell).
+
+use std::io::Cursor;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use traceio::{decode_document, TraceWriter};
+
+const ACCESSES: usize = 20_000;
+
+/// One encoded document per pattern family: sequential (best case for delta
+/// encoding) and pointer-chase (worst case: wide, sign-alternating deltas).
+fn corpora() -> Vec<(&'static str, Vec<u8>)> {
+    [("stream", "lbm"), ("chase", "mcf")]
+        .into_iter()
+        .map(|(label, bench)| {
+            let source = traces::spec06::source(bench, ACCESSES);
+            let mut writer =
+                TraceWriter::new(Cursor::new(Vec::new()), bench, true, 0).expect("header");
+            writer.write_all(source.records()).expect("encode");
+            (label, writer.finish_into_inner().expect("finish").1.into_inner())
+        })
+        .collect()
+}
+
+fn encode_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traceio_encode");
+    for (label, bench) in [("stream", "lbm"), ("chase", "mcf")] {
+        let source = traces::spec06::source(bench, ACCESSES);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut writer =
+                    TraceWriter::new(Cursor::new(Vec::new()), bench, true, 0).expect("header");
+                writer.write_all(source.records()).expect("encode");
+                black_box(writer.finish_into_inner().expect("finish").1.into_inner().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn decode_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traceio_decode");
+    for (label, bytes) in corpora() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (_, records) = decode_document(black_box(&bytes)).expect("decode");
+                black_box(records.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn raw_replay_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traceio_raw_generate");
+    for (label, bench) in [("stream", "lbm"), ("chase", "mcf")] {
+        let source = traces::spec06::source(bench, ACCESSES);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(source.records().count()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode_throughput, decode_throughput, raw_replay_baseline);
+criterion_main!(benches);

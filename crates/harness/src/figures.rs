@@ -913,6 +913,59 @@ pub fn timing(scale: &RunScale) -> Experiment {
     .with_note("cells carry the alecto-bench-v2 fields: instructions, cycles, avg_mem_latency")
 }
 
+/// The `trace replay` grid: the full hierarchy × selector sweep of the
+/// paper's main comparison, driven from the given sources — typically one
+/// file-backed [`TraceSource`] minted by `traceio`, but any source works.
+/// The experiment's id, title and cells depend only on the sources' records
+/// and names, never on where they came from, which is what makes a recorded
+/// replay byte-identical to the generated-source run (pinned by the root
+/// `trace_replay` integration test and the CI `trace-roundtrip` job).
+#[must_use]
+pub fn replay(sources: &[TraceSource], scale: &RunScale) -> Experiment {
+    let grid = run_single_core_suite(
+        sources,
+        &main_algorithms(),
+        CompositeKind::GsCsPmp,
+        &SystemConfig::skylake_like(1),
+        scale.jobs,
+    );
+    Experiment::new("replay", "Hierarchy x selector grid over trace sources", grid.to_table())
+        .with_grid(&grid)
+        .with_note(
+            "cells carry the alecto-bench-v2 fields; a recorded trace replays byte-identically \
+             to its generated source",
+        )
+}
+
+/// Every experiment id the CLI dispatches, in paper order, plus the
+/// composite runs — what `alecto-harness list` prints. Kept next to
+/// [`all`] so a new experiment is added to both or neither.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "bandit-ext",
+    "stress",
+    "timing",
+    "all",
+    "quick",
+];
+
 /// Every experiment, in paper order (used by `alecto-harness all`).
 #[must_use]
 pub fn all(scale: &RunScale) -> Vec<Experiment> {

@@ -1,0 +1,250 @@
+//! End-to-end tests of the `list` and `trace` subcommands: the record →
+//! info → replay pipeline, the `file:` scheme, the importer, and the
+//! argument-validation contract (exit 2 + usage on bad flags, before any
+//! simulation runs).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alecto-harness"))
+}
+
+/// A collision-free scratch path, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Self(
+            std::env::temp_dir()
+                .join(format!("alecto-trace-cli-{}-{unique}-{name}", std::process::id())),
+        )
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn list_prints_every_suite_and_experiment_and_exits_zero() {
+    let output = harness().arg("list").output().expect("spawn harness");
+    assert!(output.status.success(), "list must exit 0, got {:?}", output.status);
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    // Every suite of the registry, a member of each, every experiment id,
+    // and the file scheme all appear.
+    for needle in [
+        "spec06",
+        "spec17",
+        "parsec",
+        "ligra",
+        "pointer-chase",
+        "web-serve",
+        "database",
+        "mcf",
+        "canneal",
+        "BFS",
+        "web-cache",
+        "hash-join",
+        "fig8",
+        "fig17",
+        "stress",
+        "timing",
+        "quick",
+        "file:<PATH>",
+    ] {
+        assert!(stdout.contains(needle), "list output is missing {needle}:\n{stdout}");
+    }
+}
+
+#[test]
+fn record_info_replay_round_trip_is_byte_identical_to_the_generated_run() {
+    let trace = Scratch::new("rt.altr");
+    let replayed_json = Scratch::new("replayed.json");
+    let generated_json = Scratch::new("generated.json");
+
+    // Record a small trace of a registered benchmark.
+    let output = harness()
+        .args(["trace", "record", "web-cache", "--accesses", "400", "--out", trace.as_str()])
+        .output()
+        .expect("spawn harness");
+    assert!(output.status.success(), "record failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(stdout.contains("recorded 400 record(s) of web-cache"), "{stdout}");
+
+    // info verifies the checksum and reports the header.
+    let output = harness().args(["trace", "info", trace.as_str()]).output().expect("spawn harness");
+    assert!(output.status.success(), "info failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    for needle in ["web-cache", "records", "400", "(verified)", "format version"] {
+        assert!(stdout.contains(needle), "info output is missing {needle}:\n{stdout}");
+    }
+
+    // Replaying the file and running the generated source emit
+    // byte-identical reports, whatever the worker count.
+    let output = harness()
+        .args([
+            "trace",
+            "replay",
+            &format!("file:{}", trace.as_str()),
+            "--jobs",
+            "3",
+            "--json",
+            replayed_json.as_str(),
+        ])
+        .output()
+        .expect("spawn harness");
+    assert!(output.status.success(), "file replay failed: {output:?}");
+    let output = harness()
+        .args([
+            "trace",
+            "replay",
+            "web-cache",
+            "--accesses",
+            "400",
+            "--jobs",
+            "1",
+            "--json",
+            generated_json.as_str(),
+        ])
+        .output()
+        .expect("spawn harness");
+    assert!(output.status.success(), "generated replay failed: {output:?}");
+    let replayed = std::fs::read(&replayed_json.0).expect("replayed report");
+    let generated = std::fs::read(&generated_json.0).expect("generated report");
+    assert!(!replayed.is_empty());
+    assert_eq!(replayed, generated, "file replay diverged from the generated-source run");
+}
+
+#[test]
+fn import_converts_champsim_text_and_rejects_malformed_lines() {
+    let csv = Scratch::new("ext.csv");
+    let trace = Scratch::new("ext.altr");
+    std::fs::write(&csv.0, "# comment\n0x400, 0x1000, L, 3\n0x404 0x2000 S\n8,12288,w,5,1\n")
+        .expect("write csv");
+    let output = harness()
+        .args(["trace", "import", csv.as_str(), "--out", trace.as_str(), "--memory-intensive"])
+        .output()
+        .expect("spawn harness");
+    assert!(output.status.success(), "import failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(stdout.contains("imported 3 record(s)"), "{stdout}");
+
+    // The imported trace is a first-class replay source.
+    let output = harness()
+        .args(["trace", "replay", &format!("file:{}", trace.as_str())])
+        .output()
+        .expect("spawn harness");
+    assert!(output.status.success(), "imported replay failed: {output:?}");
+
+    // A malformed line is rejected with its line number.
+    std::fs::write(&csv.0, "0x400, 0x1000, L\nnot-a-record\n").expect("write csv");
+    let output = harness()
+        .args(["trace", "import", csv.as_str(), "--out", trace.as_str()])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2), "malformed import must exit 2");
+    let stderr = String::from_utf8(output.stderr).expect("utf-8");
+    assert!(stderr.contains("line 2"), "error names the line:\n{stderr}");
+}
+
+#[test]
+fn zero_accesses_exits_two_with_usage_everywhere() {
+    // Satellite contract: `--accesses 0` is rejected exactly like
+    // `--jobs 0`, in the experiment path and in every trace action.
+    let cases: &[&[&str]] = &[
+        &["quick", "--accesses", "0"],
+        &["fig8", "--accesses", "0"],
+        &["trace", "record", "mcf", "--accesses", "0", "--out", "x.altr"],
+        &["trace", "replay", "mcf", "--accesses", "0"],
+    ];
+    for args in cases {
+        let output = harness().args(*args).output().expect("spawn harness");
+        assert_eq!(output.status.code(), Some(2), "{args:?} must exit 2");
+        let stderr = String::from_utf8(output.stderr).expect("utf-8");
+        assert!(stderr.contains("usage: alecto-harness"), "{args:?} must print usage");
+    }
+}
+
+#[test]
+fn unwritable_out_path_exits_two_with_usage_before_recording() {
+    let output = harness()
+        .args([
+            "trace",
+            "record",
+            "mcf",
+            "--accesses",
+            "60",
+            "--out",
+            "/nonexistent-dir-xyz/t.altr",
+        ])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2), "bad --out must exit 2");
+    let stderr = String::from_utf8(output.stderr).expect("utf-8");
+    assert!(stderr.contains("error: --out"), "error names the flag:\n{stderr}");
+    assert!(stderr.contains("usage: alecto-harness"), "usage follows:\n{stderr}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(stdout.is_empty(), "nothing may be recorded before the path check:\n{stdout}");
+}
+
+#[test]
+fn trace_usage_errors_exit_two() {
+    let missing = Scratch::new("missing.altr");
+    let probe = Scratch::new("probe.altr");
+    let out = probe.as_str();
+    let cases: &[&[&str]] = &[
+        // Unknown action, missing operands, unknown flags.
+        &["trace"],
+        &["trace", "frobnicate"],
+        &["trace", "record", "--out", out],
+        &["trace", "record", "mcf"],
+        &["trace", "record", "mcf", "extra", "--out", out],
+        &["trace", "replay", "--jobs", "2"],
+        &["trace", "record", "mcf", "--bogus", "--out", out],
+        // Unknown benchmark and unreadable trace file.
+        &["trace", "record", "no-such-bench", "--out", out],
+    ];
+    for args in cases {
+        let output = harness().args(*args).output().expect("spawn harness");
+        assert_eq!(output.status.code(), Some(2), "{args:?} must exit 2");
+    }
+    let output =
+        harness().args(["trace", "info", missing.as_str()]).output().expect("spawn harness");
+    assert_eq!(output.status.code(), Some(2), "missing trace file must exit 2");
+    let stderr = String::from_utf8(output.stderr).expect("utf-8");
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn corrupt_trace_files_are_rejected_before_any_simulation() {
+    let trace = Scratch::new("corrupt.altr");
+    let output = harness()
+        .args(["trace", "record", "seq-scan", "--accesses", "300", "--out", trace.as_str()])
+        .output()
+        .expect("spawn harness");
+    assert!(output.status.success());
+    // Flip a byte deep in the body.
+    let mut bytes = std::fs::read(&trace.0).expect("read trace");
+    let idx = bytes.len() - 40;
+    bytes[idx] ^= 0x55;
+    std::fs::write(&trace.0, &bytes).expect("rewrite");
+    let spec = format!("file:{}", trace.as_str());
+    for args in [vec!["trace", "info", trace.as_str()], vec!["trace", "replay", spec.as_str()]] {
+        let output = harness().args(&args).output().expect("spawn harness");
+        assert_eq!(output.status.code(), Some(2), "{args:?} must exit 2 on corruption");
+        let stderr = String::from_utf8(output.stderr).expect("utf-8");
+        assert!(
+            stderr.contains("checksum") || stderr.contains("error"),
+            "corruption must be named:\n{stderr}"
+        );
+    }
+}

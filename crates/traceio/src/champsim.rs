@@ -1,0 +1,171 @@
+//! Ingestion of external traces in a simple ChampSim-compatible text/CSV
+//! record layout, converting them into `.altr`.
+//!
+//! Real machine traces usually start life as a textual dump — a ChampSim
+//! `L1D` access log, a Pin tool's CSV, a DynamoRIO postprocess. The accepted
+//! layout is the least common denominator of those: one record per line,
+//! comma- or whitespace-separated,
+//!
+//! ```text
+//! <pc> <addr> <kind> [gap_instructions] [dependent]
+//! ```
+//!
+//! where `pc`/`addr` are decimal or `0x`-hex, `kind` is `L`/`R`/`0` for a
+//! load and `S`/`W`/`1` for a store (case-insensitive), `gap_instructions`
+//! defaults to 0, and `dependent` is `0`/`1` (default 0). Blank lines and
+//! `#` comments are skipped. Example:
+//!
+//! ```text
+//! # pc       addr      kind gap dep
+//! 0x400b12,  0x7ffd1040, L,  12,  0
+//! 0x400b12,  0x7ffd1080, L,  3
+//! 0x400b30   0x21000     S
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead};
+use std::path::Path;
+
+use alecto_types::{AccessKind, Addr, MemoryRecord, Pc};
+
+use crate::writer::TraceWriter;
+
+/// A rejected input line: the 1-based line number and what was wrong.
+#[derive(Debug)]
+pub struct ImportError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<ImportError> for io::Error {
+    fn from(err: ImportError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+    }
+}
+
+fn parse_u64(field: &str) -> Result<u64, String> {
+    let field = field.trim();
+    let parsed = match field.strip_prefix("0x").or_else(|| field.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => field.parse(),
+    };
+    parsed.map_err(|_| format!("`{field}` is not a decimal or 0x-hex integer"))
+}
+
+fn parse_kind(field: &str) -> Result<AccessKind, String> {
+    match field.trim().to_ascii_lowercase().as_str() {
+        "l" | "r" | "0" | "load" | "read" => Ok(AccessKind::Load),
+        "s" | "w" | "1" | "store" | "write" => Ok(AccessKind::Store),
+        other => Err(format!("`{other}` is not an access kind (L/R/0 or S/W/1)")),
+    }
+}
+
+/// Parses one record line (already known to be non-blank, non-comment).
+///
+/// # Errors
+///
+/// Returns a description of the malformed field.
+pub fn parse_line(line: &str) -> Result<MemoryRecord, String> {
+    let fields: Vec<&str> =
+        line.split(|c: char| c == ',' || c.is_whitespace()).filter(|f| !f.is_empty()).collect();
+    if !(3..=5).contains(&fields.len()) {
+        return Err(format!(
+            "expected 3-5 fields (pc addr kind [gap] [dependent]), found {}",
+            fields.len()
+        ));
+    }
+    let pc = parse_u64(fields[0])?;
+    let addr = parse_u64(fields[1])?;
+    let kind = parse_kind(fields[2])?;
+    let gap = match fields.get(3) {
+        Some(f) => {
+            u32::try_from(parse_u64(f)?).map_err(|_| format!("gap `{}` exceeds u32", f.trim()))?
+        }
+        None => 0,
+    };
+    let dependent = match fields.get(4).map(|f| f.trim()) {
+        Some("0") | None => false,
+        Some("1") => true,
+        Some(other) => return Err(format!("dependent flag `{other}` must be 0 or 1")),
+    };
+    Ok(MemoryRecord {
+        pc: Pc::new(pc),
+        addr: Addr::new(addr),
+        kind,
+        gap_instructions: gap,
+        dependent,
+    })
+}
+
+/// Streams ChampSim-style text records from `input` into an `.altr` trace at
+/// `out`, returning the record count. `name` and `memory_intensive` stamp
+/// the header (the seed is 0: imported traces have no generator seed).
+///
+/// # Errors
+///
+/// Returns the first malformed line as an [`ImportError`]-derived
+/// [`io::Error`], or any underlying I/O error. On error the partially
+/// written output is left unfinished (header claims zero records).
+pub fn import_text(
+    input: impl BufRead,
+    name: &str,
+    memory_intensive: bool,
+    out: &Path,
+) -> io::Result<u64> {
+    let mut writer = TraceWriter::create(out, name, memory_intensive, 0)?;
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let record =
+            parse_line(trimmed).map_err(|message| ImportError { line: idx + 1, message })?;
+        writer.write_record(record)?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_layouts() {
+        let r = parse_line("0x400b12, 0x7ffd1040, L, 12, 0").unwrap();
+        assert_eq!(r.pc.raw(), 0x400b12);
+        assert_eq!(r.addr.raw(), 0x7ffd1040);
+        assert!(r.kind.is_load());
+        assert_eq!(r.gap_instructions, 12);
+        assert!(!r.dependent);
+
+        let r = parse_line("0x400b30 0x21000 S").unwrap();
+        assert!(!r.kind.is_load());
+        assert_eq!(r.gap_instructions, 0);
+
+        let r = parse_line("1024,2048,w,7,1").unwrap();
+        assert!(!r.kind.is_load());
+        assert!(r.dependent);
+        assert_eq!(r.pc.raw(), 1024);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_field_context() {
+        assert!(parse_line("0x1 0x2").unwrap_err().contains("3-5 fields"));
+        assert!(parse_line("zzz 0x2 L").unwrap_err().contains("zzz"));
+        assert!(parse_line("0x1 0x2 X").unwrap_err().contains("access kind"));
+        assert!(parse_line("0x1 0x2 L 5 2").unwrap_err().contains("must be 0 or 1"));
+        assert!(parse_line("0x1 0x2 L 99999999999").unwrap_err().contains("exceeds u32"));
+        assert!(parse_line("1 2 3 4 5 6").unwrap_err().contains("found 6"));
+    }
+}

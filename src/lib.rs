@@ -13,6 +13,8 @@
 //!   PPF) the paper compares against.
 //! * [`memsys`] / [`cpu`] — the cache/DRAM/core simulator substrate.
 //! * [`traces`] — synthetic SPEC/PARSEC/Ligra-like workload generators.
+//! * [`traceio`] — the `.altr` binary trace record/replay format and the
+//!   ChampSim-style external trace importer.
 //! * [`harness`] — the experiment runner that regenerates every figure and
 //!   table of the paper's evaluation.
 //!
@@ -33,10 +35,11 @@ pub use harness;
 pub use memsys;
 pub use prefetch;
 pub use selectors;
+pub use traceio;
 pub use traces;
 
 /// Convenience re-exports used by the examples and integration tests.
 pub mod prelude {
-    pub use crate::{alecto, cpu, harness, memsys, prefetch, selectors, traces, types};
+    pub use crate::{alecto, cpu, harness, memsys, prefetch, selectors, traceio, traces, types};
     pub use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
 }
