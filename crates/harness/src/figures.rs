@@ -966,6 +966,41 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "quick",
 ];
 
+/// Maps an experiment id to its builder, or `None` for unknown ids. The
+/// recognized set must match [`EXPERIMENT_IDS`] (what `alecto-harness list`
+/// advertises) — a unit test pins the two together, so adding an experiment
+/// to one and not the other fails the build, not a user. Both the CLI
+/// dispatch and the sweep server's `POST /v1/sweep` resolve ids here, which
+/// is one of the preconditions for their reports being byte-identical.
+#[must_use]
+pub fn builder(id: &str) -> Option<fn(&RunScale) -> Vec<Experiment>> {
+    Some(match id {
+        "table1" => |_| vec![table1()],
+        "table2" => |_| vec![table2()],
+        "table3" => |_| vec![table3()],
+        "fig1" => |s| vec![fig1(s)],
+        "fig2" => |s| vec![fig2(s)],
+        "fig8" => |s| vec![fig8(s)],
+        "fig9" => |s| vec![fig9(s)],
+        "fig10" => |s| vec![fig10(s)],
+        "fig11" => |s| vec![fig11(s)],
+        "fig12" => |s| vec![fig12(s)],
+        "fig13" => |s| vec![fig13(s)],
+        "fig14" => |s| vec![fig14(s)],
+        "fig15" => |s| vec![fig15(s)],
+        "fig16" => |s| vec![fig16(s)],
+        "fig17" => |s| vec![fig17(s)],
+        "fig18" => |s| vec![fig18(s)],
+        "fig19" => |s| vec![fig19(s)],
+        "fig20" => |s| vec![fig20(s)],
+        "bandit-ext" | "vi_h" => |s| vec![bandit_extended(s)],
+        "stress" => |s| vec![stress(s)],
+        "timing" => |s| vec![timing(s)],
+        "all" | "quick" => all,
+        _ => return None,
+    })
+}
+
 /// Every experiment, in paper order (used by `alecto-harness all`).
 #[must_use]
 pub fn all(scale: &RunScale) -> Vec<Experiment> {

@@ -7,6 +7,8 @@
 //!                [--quick] [--jobs N] [--json PATH]
 //! alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]
 //! alecto-harness list
+//! alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]
+//!                      [--cache-capacity N] [--cache-dir PATH]
 //! alecto-harness trace record <benchmark> [--accesses N] --out PATH
 //! alecto-harness trace info <file.altr>
 //! alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N] [--json PATH]
@@ -38,6 +40,14 @@
 //!   job pins this);
 //! * `import` converts a ChampSim-style text/CSV dump into `.altr`.
 //!
+//! `serve` turns the harness into a long-running sweep server: experiments
+//! are submitted over HTTP (`POST /v1/sweep`), executed by a persistent
+//! worker pool, and every finished simulation cell is memoized in a
+//! content-addressed cache (`--cache-dir` persists it across restarts), so
+//! repeated or overlapping sweeps cost near zero. `GET /v1/results/<id>`
+//! serves the same bytes `--json` would write for the equivalent CLI run.
+//! See `docs/PROTOCOL.md` for the wire format.
+//!
 //! Flag interaction is explicit and position-independent:
 //!
 //! 1. the scale starts at the default (or quick, for `--quick`/`quick`);
@@ -66,6 +76,8 @@ fn usage() -> ! {
          \x20                  [--jobs N] [--json PATH]\n\
          \x20      alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]\n\
          \x20      alecto-harness list\n\
+         \x20      alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]\n\
+         \x20                           [--cache-capacity N] [--cache-dir PATH]\n\
          \x20      alecto-harness trace record <benchmark> [--accesses N] --out PATH\n\
          \x20      alecto-harness trace info <file.altr>\n\
          \x20      alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N]\n\
@@ -91,7 +103,12 @@ fn usage() -> ! {
          \x20 --memory-intensive      mark an imported trace as memory intensive\n\
          \x20 --tolerance PCT         compare: allowed speedup/IPC drop below the baseline\n\
          \x20                         in percent (default 5); exits 0 in-tolerance, 1 on\n\
-         \x20                         regression with a per-cell diff, 2 on usage/parse errors"
+         \x20                         regression with a per-cell diff, 2 on usage/parse errors\n\
+         \x20 --addr HOST:PORT        serve: listen address (default 127.0.0.1:7171; port 0\n\
+         \x20                         picks a free port, printed on startup)\n\
+         \x20 --sweep-workers N       serve: concurrent sweep jobs (default 2)\n\
+         \x20 --cache-capacity N      serve: in-memory cell-cache entries (default 4096)\n\
+         \x20 --cache-dir PATH        serve: persist cache entries across restarts under PATH"
     );
     std::process::exit(2);
 }
@@ -227,6 +244,55 @@ fn resolve_spec(spec: &str, accesses: Option<usize>) -> (TraceSource, u64) {
     };
     let accesses = accesses.unwrap_or(RunScale::default().accesses);
     (suite.source(spec, accesses), traces::derive_seed(spec, 0))
+}
+
+/// The `serve` subcommand: run the sweep server until killed. Exit 2 on bad
+/// flags, 1 when binding or serving fails.
+fn run_serve(args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut config = harness::ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = parse_path_value(args, &mut i),
+            "--sweep-workers" => {
+                let n: usize = parse_flag_value(args, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                config.sweep_workers = n;
+            }
+            "--jobs" => {
+                let n: usize = parse_flag_value(args, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                config.default_jobs = n;
+            }
+            "--cache-capacity" => {
+                let n: usize = parse_flag_value(args, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                config.cache_capacity = n;
+            }
+            "--cache-dir" => config.cache_dir = Some(parse_path_value(args, &mut i).into()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let server = harness::Server::bind(&addr, config).unwrap_or_else(|err| {
+        eprintln!("error: cannot bind {addr}: {err}");
+        std::process::exit(1);
+    });
+    match server.local_addr() {
+        // The exact line scripts (and the CI smoke job) wait for.
+        Ok(local) => println!("alecto-harness serving on http://{local}"),
+        Err(_) => println!("alecto-harness serving on http://{addr}"),
+    }
+    let err = server.run().expect_err("run only returns on listener failure");
+    eprintln!("error: server terminated: {err}");
+    std::process::exit(1);
 }
 
 /// The `trace` subcommand family: record / info / replay / import.
@@ -387,38 +453,6 @@ fn run_trace_info(path: &str) -> ! {
     std::process::exit(0);
 }
 
-/// Maps an experiment id to its builder, or `None` for unknown ids. The
-/// recognized set must match [`figures::EXPERIMENT_IDS`] (what `list`
-/// advertises) — a unit test below pins the two together, so adding an
-/// experiment to one and not the other fails the build, not a user.
-fn experiment_builder(id: &str) -> Option<fn(&RunScale) -> Vec<harness::Experiment>> {
-    Some(match id {
-        "table1" => |_| vec![figures::table1()],
-        "table2" => |_| vec![figures::table2()],
-        "table3" => |_| vec![figures::table3()],
-        "fig1" => |s| vec![figures::fig1(s)],
-        "fig2" => |s| vec![figures::fig2(s)],
-        "fig8" => |s| vec![figures::fig8(s)],
-        "fig9" => |s| vec![figures::fig9(s)],
-        "fig10" => |s| vec![figures::fig10(s)],
-        "fig11" => |s| vec![figures::fig11(s)],
-        "fig12" => |s| vec![figures::fig12(s)],
-        "fig13" => |s| vec![figures::fig13(s)],
-        "fig14" => |s| vec![figures::fig14(s)],
-        "fig15" => |s| vec![figures::fig15(s)],
-        "fig16" => |s| vec![figures::fig16(s)],
-        "fig17" => |s| vec![figures::fig17(s)],
-        "fig18" => |s| vec![figures::fig18(s)],
-        "fig19" => |s| vec![figures::fig19(s)],
-        "fig20" => |s| vec![figures::fig20(s)],
-        "bandit-ext" | "vi_h" => |s| vec![figures::bandit_extended(s)],
-        "stress" => |s| vec![figures::stress(s)],
-        "timing" => |s| vec![figures::timing(s)],
-        "all" | "quick" => figures::all,
-        _ => return None,
-    })
-}
-
 fn parse_flag_value<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
     *i += 1;
     args.get(*i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
@@ -444,6 +478,7 @@ fn main() {
     match args[0].as_str() {
         "compare" => run_compare(&args[1..]),
         "list" => run_list(),
+        "serve" => run_serve(&args[1..]),
         "trace" => run_trace(&args[1..]),
         _ => {}
     }
@@ -485,25 +520,21 @@ fn main() {
     let experiment = experiment.unwrap_or_else(|| usage());
 
     // Scale resolution, in documented order: preset, then --accesses (which
-    // derives the multi-core budget), then --multicore-accesses.
-    let mut scale =
-        if quick || experiment == "quick" { RunScale::quick() } else { RunScale::default() };
-    if let Some(n) = accesses_override {
-        scale.accesses = n;
-        scale.multicore_accesses = (n / 3).max(100);
-    }
-    if let Some(n) = multicore_override {
-        scale.multicore_accesses = n;
-    }
-    if let Some(n) = jobs {
-        scale.jobs = n;
-    }
+    // derives the multi-core budget), then --multicore-accesses. The sweep
+    // server resolves its request bodies through the same function, so
+    // equivalent HTTP and CLI runs are byte-identical.
+    let scale = RunScale::resolve(
+        quick || experiment == "quick",
+        accesses_override,
+        multicore_override,
+        jobs,
+    );
 
     if let Some(path) = &json_path {
         check_writable(path, "--json");
     }
 
-    let Some(build) = experiment_builder(&experiment) else { usage() };
+    let Some(build) = figures::builder(&experiment) else { usage() };
     let experiments = build(&scale);
     for e in &experiments {
         println!("{}", e.render());
@@ -524,7 +555,7 @@ mod tests {
     fn every_listed_experiment_id_dispatches() {
         for id in figures::EXPERIMENT_IDS {
             assert!(
-                experiment_builder(id).is_some(),
+                figures::builder(id).is_some(),
                 "`list` advertises {id} but the dispatch rejects it"
             );
         }
@@ -532,10 +563,22 @@ mod tests {
 
     #[test]
     fn unknown_experiment_ids_are_rejected() {
-        for id in ["fig99", "", "trace", "compare", "list"] {
-            assert!(experiment_builder(id).is_none(), "{id} must not dispatch");
+        for id in ["fig99", "", "trace", "compare", "list", "serve"] {
+            assert!(figures::builder(id).is_none(), "{id} must not dispatch");
         }
         // The paper-section alias stays dispatchable though unlisted.
-        assert!(experiment_builder("vi_h").is_some());
+        assert!(figures::builder("vi_h").is_some());
+    }
+
+    #[test]
+    fn cli_scale_resolution_matches_documented_order() {
+        assert_eq!(RunScale::resolve(false, None, None, None), RunScale::default());
+        assert_eq!(RunScale::resolve(true, None, None, None), RunScale::quick());
+        let derived = RunScale::resolve(false, Some(9_000), None, Some(2));
+        assert_eq!((derived.accesses, derived.multicore_accesses, derived.jobs), (9_000, 3_000, 2));
+        // The floor mirrors the CLI contract: max(N / 3, 100).
+        assert_eq!(RunScale::resolve(false, Some(30), None, None).multicore_accesses, 100);
+        // An explicit multi-core budget overrides the derived one.
+        assert_eq!(RunScale::resolve(true, Some(900), Some(42), None).multicore_accesses, 42);
     }
 }

@@ -23,10 +23,12 @@
 //! 3. cells never share mutable state: `cpu` statically asserts that
 //!    `System` construction is `Send`-clean.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 
-use alecto_types::{geomean, TraceSource};
+use alecto_types::{fnv1a_64, geomean, TraceSource, FNV1A_OFFSET};
 use cpu::{CompositeKind, SelectionAlgorithm, System, SystemConfig, SystemReport};
 
 use crate::report::Table;
@@ -71,6 +73,35 @@ impl RunScale {
         self.jobs = jobs;
         self
     }
+
+    /// Resolves a scale request the way the CLI documents, in order: the
+    /// preset (`quick` or default), then `accesses` (which also derives the
+    /// per-core multi-core budget as `max(accesses / 3, 100)`, mirroring the
+    /// default scale's ratio), then an explicit `multicore_accesses`
+    /// override, then the worker count. The sweep server resolves request
+    /// bodies through this same function, so an HTTP sweep and a CLI run
+    /// with equivalent parameters simulate the identical scale — a
+    /// precondition for their reports being byte-identical.
+    #[must_use]
+    pub fn resolve(
+        quick: bool,
+        accesses: Option<usize>,
+        multicore_accesses: Option<usize>,
+        jobs: Option<usize>,
+    ) -> Self {
+        let mut scale = if quick { Self::quick() } else { Self::default() };
+        if let Some(n) = accesses {
+            scale.accesses = n;
+            scale.multicore_accesses = (n / 3).max(100);
+        }
+        if let Some(n) = multicore_accesses {
+            scale.multicore_accesses = n;
+        }
+        if let Some(n) = jobs {
+            scale.jobs = n;
+        }
+        scale
+    }
 }
 
 /// Resolves a requested worker count: `0` means one worker per available
@@ -97,16 +128,91 @@ pub fn worker_count(requested: usize, job_count: usize) -> usize {
 /// trace-source assignment under one system configuration. Sources are lazy:
 /// the cell regenerates its records on its worker thread, so a sweep's
 /// memory footprint is O(cells in flight), never O(trace length).
-struct Job<'a> {
-    algorithm: SelectionAlgorithm,
-    composite: CompositeKind,
-    config: &'a SystemConfig,
-    sources: &'a [TraceSource],
+///
+/// This is the unit of work the sweep server's cell cache memoizes:
+/// [`CellJob::cache_key`] digests everything that determines the cell's
+/// [`SystemReport`], so equal keys mean byte-identical results (the
+/// determinism contract — see `docs/ARCHITECTURE.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct CellJob<'a> {
+    /// Selection algorithm of this cell ([`SelectionAlgorithm::NoPrefetching`]
+    /// for the implicit baseline cell).
+    pub algorithm: SelectionAlgorithm,
+    /// Composite prefetcher configuration simulated under the algorithm.
+    pub composite: CompositeKind,
+    /// Shared system configuration (caches, timing, selector epochs).
+    pub config: &'a SystemConfig,
+    /// Trace assignment: core `i` replays `sources[i % sources.len()]`.
+    pub sources: &'a [TraceSource],
 }
 
-fn run_job(job: &Job<'_>) -> SystemReport {
-    let mut system = System::new(job.config.clone(), job.algorithm, job.composite);
-    system.run_sources(job.sources)
+impl CellJob<'_> {
+    /// The cell's content-addressed cache key: a canonical FNV-1a64 digest of
+    /// the algorithm, the composite, the full [`SystemConfig`] (its `Debug`
+    /// rendering covers every field, [`memsys::TimingParams`] included) and each
+    /// trace source's [`TraceSource::fingerprint`] (which folds in names,
+    /// access budgets, generation seeds and `.altr` body checksums). Every
+    /// input that can change the cell's report feeds the key, so two cells
+    /// with equal keys produce byte-identical [`SystemReport`]s — the
+    /// invariant `harness::cellcache` memoization rests on.
+    #[must_use]
+    pub fn cache_key(&self) -> u64 {
+        let mut key = fnv1a_64(FNV1A_OFFSET, b"cell-v1|");
+        key = fnv1a_64(key, self.algorithm.label().as_bytes());
+        key = fnv1a_64(key, b"|");
+        key = fnv1a_64(key, format!("{:?}", self.composite).as_bytes());
+        key = fnv1a_64(key, b"|");
+        key = fnv1a_64(key, format!("{:?}", self.config).as_bytes());
+        key = fnv1a_64(key, &(self.sources.len() as u64).to_le_bytes());
+        for source in self.sources {
+            key = fnv1a_64(key, &source.fingerprint().to_le_bytes());
+        }
+        key
+    }
+}
+
+/// Simulates one cell from scratch (no memoization): builds a fresh
+/// [`System`] and streams the cell's sources through it. This is the ground
+/// truth every [`CellExecutor`] must agree with on a cache miss.
+#[must_use]
+pub fn run_cell(cell: &CellJob<'_>) -> SystemReport {
+    let mut system = System::new(cell.config.clone(), cell.algorithm, cell.composite);
+    system.run_sources(cell.sources)
+}
+
+/// A pluggable cell-execution strategy, consulted for every cell the
+/// experiment engine runs. Implementations must return exactly what
+/// [`run_cell`] would (e.g. by memoizing it keyed on [`CellJob::cache_key`]);
+/// the engine cannot tell a cached report from a fresh one — by design.
+///
+/// Executors are called concurrently from worker threads, hence the
+/// `Send + Sync` bound.
+pub trait CellExecutor: Send + Sync {
+    /// Produces the report for `cell` — by simulation, from a cache, or both.
+    fn execute(&self, cell: &CellJob<'_>) -> SystemReport;
+}
+
+thread_local! {
+    /// The executor the *calling* thread has scoped in via
+    /// [`with_cell_executor`]; `None` means plain [`run_cell`].
+    static CELL_EXECUTOR: RefCell<Option<Arc<dyn CellExecutor>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `executor` installed as the current thread's cell executor:
+/// every suite the closure runs (however deep in the figure builders) routes
+/// its cells through `executor` instead of bare [`run_cell`]. The previous
+/// executor is restored on exit, even on panic, and the installation is
+/// thread-local, so parallel tests (and parallel server requests, each on
+/// its own worker thread) cannot observe each other's executors.
+pub fn with_cell_executor<R>(executor: Arc<dyn CellExecutor>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<dyn CellExecutor>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CELL_EXECUTOR.with(|slot| *slot.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(CELL_EXECUTOR.with(|slot| slot.borrow_mut().replace(executor)));
+    f()
 }
 
 /// Executes `jobs` across up to `requested_workers` scoped worker threads
@@ -115,13 +221,23 @@ fn run_job(job: &Job<'_>) -> SystemReport {
 /// finished. Workers pull jobs from a shared atomic counter, so long cells
 /// do not leave threads idle behind a static partition.
 ///
+/// The calling thread's [`with_cell_executor`] scope (if any) is captured
+/// here — before the workers spawn — and shared with all of them, so a
+/// memoizing executor applies to every cell of the sweep regardless of which
+/// thread runs it.
+///
 /// # Panics
 ///
 /// Panics if a worker thread panics (the cell's own panic is propagated).
-fn execute_jobs(jobs: &[Job<'_>], requested_workers: usize) -> Vec<SystemReport> {
+fn execute_jobs(jobs: &[CellJob<'_>], requested_workers: usize) -> Vec<SystemReport> {
+    let executor = CELL_EXECUTOR.with(|slot| slot.borrow().clone());
+    let run = |job: &CellJob<'_>| match &executor {
+        Some(executor) => executor.execute(job),
+        None => run_cell(job),
+    };
     let workers = worker_count(requested_workers, jobs.len());
     if workers == 1 {
-        return jobs.iter().map(run_job).collect();
+        return jobs.iter().map(run).collect();
     }
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<SystemReport>> = (0..jobs.len()).map(|_| None).collect();
@@ -133,7 +249,7 @@ fn execute_jobs(jobs: &[Job<'_>], requested_workers: usize) -> Vec<SystemReport>
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(idx) else { break };
-                        completed.push((idx, run_job(job)));
+                        completed.push((idx, run(job)));
                     }
                     completed
                 })
@@ -283,12 +399,12 @@ pub fn run_single_core_suite(
     config: &SystemConfig,
     jobs: usize,
 ) -> SpeedupGrid {
-    let cells: Vec<Job<'_>> = sources
+    let cells: Vec<CellJob<'_>> = sources
         .iter()
         .flat_map(|source| {
             std::iter::once(SelectionAlgorithm::NoPrefetching)
                 .chain(algorithms.iter().copied())
-                .map(move |algorithm| Job {
+                .map(move |algorithm| CellJob {
                     algorithm,
                     composite,
                     config,
@@ -320,9 +436,9 @@ pub fn run_multicore_mix(
     config: &SystemConfig,
     jobs: usize,
 ) -> SpeedupGrid {
-    let cells: Vec<Job<'_>> = std::iter::once(SelectionAlgorithm::NoPrefetching)
+    let cells: Vec<CellJob<'_>> = std::iter::once(SelectionAlgorithm::NoPrefetching)
         .chain(algorithms.iter().copied())
-        .map(|algorithm| Job { algorithm, composite, config, sources })
+        .map(|algorithm| CellJob { algorithm, composite, config, sources })
         .collect();
     let mut reports = execute_jobs(&cells, jobs).into_iter();
     let memory_intensive = sources.iter().any(TraceSource::memory_intensive);
@@ -483,5 +599,81 @@ mod tests {
     fn scale_presets() {
         assert!(RunScale::default().accesses > RunScale::quick().accesses);
         assert_eq!(RunScale::with_accesses(100, 50).with_jobs(2).jobs, 2);
+    }
+
+    #[test]
+    fn cache_key_covers_every_cell_input() {
+        let sources = tiny_workloads();
+        let config = SystemConfig::skylake_like(1);
+        let base = CellJob {
+            algorithm: SelectionAlgorithm::Alecto,
+            composite: CompositeKind::GsCsPmp,
+            config: &config,
+            sources: &sources[..1],
+        };
+        assert_eq!(base.cache_key(), base.cache_key(), "key must be deterministic");
+        assert_ne!(
+            base.cache_key(),
+            CellJob { algorithm: SelectionAlgorithm::Ipcp, ..base }.cache_key(),
+            "algorithm"
+        );
+        assert_ne!(
+            base.cache_key(),
+            CellJob { composite: CompositeKind::PmpOnly, ..base }.cache_key(),
+            "composite"
+        );
+        let other_config = SystemConfig::skylake_like(2);
+        assert_ne!(
+            base.cache_key(),
+            CellJob { config: &other_config, ..base }.cache_key(),
+            "system configuration"
+        );
+        assert_ne!(
+            base.cache_key(),
+            CellJob { sources: &sources[1..], ..base }.cache_key(),
+            "trace source"
+        );
+        assert_ne!(
+            base.cache_key(),
+            CellJob { sources: &sources, ..base }.cache_key(),
+            "source count"
+        );
+        let resized = [traces::spec06::source("lbm", 1_600)];
+        assert_ne!(
+            base.cache_key(),
+            CellJob { sources: &resized, ..base }.cache_key(),
+            "access budget (same benchmark name)"
+        );
+    }
+
+    #[test]
+    fn scoped_executor_intercepts_every_cell_and_restores() {
+        use std::sync::atomic::AtomicUsize;
+
+        struct Counting(AtomicUsize);
+        impl CellExecutor for Counting {
+            fn execute(&self, cell: &CellJob<'_>) -> SystemReport {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                run_cell(cell)
+            }
+        }
+
+        let workloads = tiny_workloads();
+        let algorithms = [SelectionAlgorithm::Ipcp];
+        let config = SystemConfig::skylake_like(1);
+        let plain =
+            run_single_core_suite(&workloads, &algorithms, CompositeKind::GsCsPmp, &config, 1);
+        let counter = Arc::new(Counting(AtomicUsize::new(0)));
+        let via_executor =
+            with_cell_executor(Arc::clone(&counter) as Arc<dyn CellExecutor>, || {
+                // Parallel workers must all observe the caller's executor.
+                run_single_core_suite(&workloads, &algorithms, CompositeKind::GsCsPmp, &config, 4)
+            });
+        // 2 benchmarks × (baseline + 1 algorithm) = 4 cells, all intercepted.
+        assert_eq!(counter.0.load(Ordering::Relaxed), 4);
+        assert_eq!(plain, via_executor, "a delegating executor must not change results");
+        // The scope has ended: subsequent suites run uninstrumented.
+        let _ = run_single_core_suite(&workloads, &algorithms, CompositeKind::GsCsPmp, &config, 1);
+        assert_eq!(counter.0.load(Ordering::Relaxed), 4);
     }
 }

@@ -1,0 +1,737 @@
+//! The sweep server: simulation-as-a-service over a hand-rolled HTTP/1.1
+//! stack (`std::net::TcpListener` + thread pools — no dependencies), with
+//! every finished simulation cell memoized in a shared [`CellCache`].
+//!
+//! # Endpoints (see `docs/PROTOCOL.md` for the full wire specification)
+//!
+//! | Method + path          | Purpose                                          |
+//! |------------------------|--------------------------------------------------|
+//! | `POST /v1/sweep`       | Submit an experiment (or `replay`) sweep; `202`  |
+//! | `GET /v1/jobs/<id>`    | Incremental per-cell status of a submitted sweep |
+//! | `GET /v1/results/<id>` | The finished `alecto-bench-v2` report            |
+//! | `GET /v1/health`       | Liveness probe                                   |
+//! | `GET /v1/stats`        | Uptime, cache counters, worker occupancy         |
+//!
+//! # Execution model
+//!
+//! Accepted connections are handled by a small pool of connection threads;
+//! `POST /v1/sweep` only validates and enqueues, so submission latency is
+//! independent of simulation time. A separate persistent pool of sweep
+//! workers pulls queued jobs and runs them through the same
+//! `figures::builder` / [`RunScale::resolve`] pipeline as the CLI, with a
+//! memoizing [`CellExecutor`] scoped in: each benchmark × algorithm cell is
+//! served from the [`CellCache`] when its content-addressed key is present
+//! and simulated (then remembered) otherwise. Inside one sweep the cells
+//! still fan out across the experiment engine's work-stealing workers, so a
+//! cold sweep is exactly as parallel as a CLI run.
+//!
+//! Because cell keys digest *everything* that can influence a result and
+//! grids are byte-identical at any worker count, a fully cached sweep's
+//! `/v1/results` body is byte-identical to the cold run's — and to
+//! `alecto-harness <experiment> --json` for the same parameters.
+
+#![deny(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use alecto_types::TraceSource;
+
+use crate::cellcache::CellCache;
+use crate::figures;
+use crate::report::json::{self, JsonValue};
+use crate::report::{experiments_to_json, Experiment};
+use crate::runner::{run_cell, with_cell_executor, CellExecutor, CellJob, RunScale};
+
+/// Upper bound on a request body; sweep submissions are a few hundred bytes,
+/// so anything near this is abuse or a protocol error.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Tuning knobs of a [`Server`]; `Default` is sized for a small shared
+/// instance (two concurrent sweeps, four connection handlers, the default
+/// cache capacity, no persistence).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Persistent sweep-worker threads: how many submitted sweeps execute
+    /// concurrently (further submissions queue).
+    pub sweep_workers: usize,
+    /// Connection-handler threads servicing the HTTP side.
+    pub handler_threads: usize,
+    /// Default per-sweep cell-engine worker count (`0` = one per hardware
+    /// thread), overridable per request via the `jobs` field.
+    pub default_jobs: usize,
+    /// Memory-tier capacity of the shared cell cache, in entries.
+    pub cache_capacity: usize,
+    /// Optional directory persisting cache entries across restarts.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            sweep_workers: 2,
+            handler_threads: 4,
+            default_jobs: 0,
+            cache_capacity: CellCache::DEFAULT_CAPACITY,
+            cache_dir: None,
+        }
+    }
+}
+
+/// What a sweep job runs: a registered experiment builder, or a replay over
+/// resolved trace sources.
+enum SweepKind {
+    /// One of the `figures::EXPERIMENT_IDS` builders.
+    Experiment(fn(&RunScale) -> Vec<Experiment>),
+    /// `figures::replay` over the request's resolved trace specs.
+    Replay(Vec<TraceSource>),
+}
+
+/// Lifecycle of a submitted sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+}
+
+impl JobStatus {
+    fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One completed cell of a running sweep, for the incremental
+/// `GET /v1/jobs/<id>` view.
+struct CellDone {
+    key: u64,
+    algorithm: String,
+    benchmark: String,
+    ipc: f64,
+    cached: bool,
+}
+
+/// All mutable state of one submitted sweep.
+struct JobState {
+    id: u64,
+    experiment: String,
+    scale: RunScale,
+    kind: Mutex<Option<SweepKind>>,
+    status: Mutex<JobStatus>,
+    cells: Mutex<Vec<CellDone>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    result: Mutex<Option<String>>,
+}
+
+/// State shared between connection handlers and sweep workers.
+struct ServerState {
+    cache: Arc<CellCache>,
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    queue: Mutex<VecDeque<Arc<JobState>>>,
+    queue_signal: Condvar,
+    next_job_id: AtomicU64,
+    started: Instant,
+    requests: AtomicU64,
+    busy_workers: AtomicUsize,
+    config: ServerConfig,
+}
+
+/// A bound sweep server; [`Server::run`] starts serving. See the
+/// [module docs](self) for the execution model.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `addr`, creates the shared cell cache (opening `cache_dir` when
+    /// configured) and spawns the persistent sweep-worker pool. No traffic
+    /// is served until [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns socket-bind or cache-directory errors.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let cache = match &config.cache_dir {
+            Some(dir) => CellCache::with_dir(config.cache_capacity.max(1), dir)?,
+            None => CellCache::new(config.cache_capacity.max(1)),
+        };
+        let state = Arc::new(ServerState {
+            cache: Arc::new(cache),
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_signal: Condvar::new(),
+            next_job_id: AtomicU64::new(1),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            busy_workers: AtomicUsize::new(0),
+            config,
+        });
+        for worker in 0..state.config.sweep_workers.max(1) {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name(format!("sweep-worker-{worker}"))
+                .spawn(move || sweep_worker(&state))
+                .expect("spawn sweep worker");
+        }
+        Ok(Self { listener, state })
+    }
+
+    /// The bound address — useful with port 0 (tests bind `127.0.0.1:0` and
+    /// read the assigned port here).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever: accepts connections and dispatches them to the
+    /// handler pool. Only returns if the listener itself fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns the listener's accept error.
+    pub fn run(self) -> io::Result<()> {
+        let pending: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
+            Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+        for handler in 0..self.state.config.handler_threads.max(1) {
+            let pending = Arc::clone(&pending);
+            let state = Arc::clone(&self.state);
+            thread::Builder::new()
+                .name(format!("http-handler-{handler}"))
+                .spawn(move || loop {
+                    let stream = {
+                        let (lock, signal) = &*pending;
+                        let mut queue = lock.lock().expect("connection queue lock");
+                        loop {
+                            if let Some(stream) = queue.pop_front() {
+                                break stream;
+                            }
+                            queue = signal.wait(queue).expect("connection queue lock");
+                        }
+                    };
+                    handle_connection(stream, &state);
+                })
+                .expect("spawn connection handler");
+        }
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let (lock, signal) = &*pending;
+            lock.lock().expect("connection queue lock").push_back(stream);
+            signal.notify_one();
+        }
+    }
+}
+
+/// The memoizing executor one sweep job scopes in: serves cells from the
+/// shared cache, simulates misses, and records per-cell progress on the job.
+struct JobExecutor {
+    cache: Arc<CellCache>,
+    job: Arc<JobState>,
+}
+
+impl CellExecutor for JobExecutor {
+    fn execute(&self, cell: &CellJob<'_>) -> cpu::SystemReport {
+        let key = cell.cache_key();
+        let (report, cached) = match self.cache.lookup(key) {
+            Some(report) => (report, true),
+            None => {
+                let report = run_cell(cell);
+                self.cache.insert(key, report.clone());
+                (report, false)
+            }
+        };
+        if cached {
+            self.job.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.job.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let benchmark: Vec<&str> = cell.sources.iter().map(TraceSource::name).collect();
+        self.job.cells.lock().expect("job cells lock").push(CellDone {
+            key,
+            algorithm: cell.algorithm.label().to_string(),
+            benchmark: benchmark.join("+"),
+            ipc: report.geomean_ipc().unwrap_or(0.0),
+            cached,
+        });
+        report
+    }
+}
+
+/// A sweep worker's main loop: pull a queued job, run it to completion (or
+/// failure), repeat. Panics inside a sweep (e.g. a trace file deleted
+/// between validation and replay) fail that job only, never the server.
+fn sweep_worker(state: &Arc<ServerState>) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().expect("job queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = state.queue_signal.wait(queue).expect("job queue lock");
+            }
+        };
+        state.busy_workers.fetch_add(1, Ordering::Relaxed);
+        *job.status.lock().expect("job status lock") = JobStatus::Running;
+        let kind = job.kind.lock().expect("job kind lock").take();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let executor =
+                Arc::new(JobExecutor { cache: Arc::clone(&state.cache), job: Arc::clone(&job) });
+            let experiments = with_cell_executor(executor, || match &kind {
+                Some(SweepKind::Experiment(build)) => build(&job.scale),
+                Some(SweepKind::Replay(sources)) => {
+                    vec![figures::replay(sources, &job.scale)]
+                }
+                None => unreachable!("job dequeued twice"),
+            });
+            experiments_to_json(&experiments)
+        }));
+        match outcome {
+            Ok(body) => {
+                *job.result.lock().expect("job result lock") = Some(body);
+                *job.status.lock().expect("job status lock") = JobStatus::Done;
+            }
+            Err(panic) => {
+                let message = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("sweep panicked")
+                    .to_string();
+                *job.status.lock().expect("job status lock") = JobStatus::Failed(message);
+            }
+        }
+        state.busy_workers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+// --- HTTP plumbing ---------------------------------------------------------
+
+/// A fully assembled response; `body` is always JSON here.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Self { status: 200, body }
+    }
+
+    /// The standard error envelope: `{"error":{"code":...,"message":...}}`.
+    fn error(status: u16, code: &str, message: &str) -> Self {
+        Self {
+            status,
+            body: format!(
+                "{{\"error\":{{\"code\":{},\"message\":{}}}}}\n",
+                json::string(code),
+                json::string(message)
+            ),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request, routes it, writes the response, closes the socket
+/// (`Connection: close` — submissions are rare and cheap, keep-alive would
+/// only complicate the protocol).
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(stream);
+    let response = match read_request(&mut reader) {
+        Ok((method, target, body)) => {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            route(state, &method, &target, &body)
+        }
+        Err(message) => Response::error(400, "malformed_request", &message),
+    };
+    let mut stream = reader.into_inner();
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        response.body
+    );
+    let _ = stream.flush();
+}
+
+/// Parses the request line, the headers we care about (`Content-Length`),
+/// and the body. Everything else is skipped — the protocol needs nothing
+/// more.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("reading request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let target = parts.next().ok_or("request line without target")?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|e| format!("reading headers: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {:?}", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES} cap"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| format!("reading body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok((method, target, body))
+}
+
+fn route(state: &Arc<ServerState>, method: &str, target: &str, body: &str) -> Response {
+    match (method, target) {
+        ("GET", "/v1/health") => Response::ok(format!(
+            "{{\"status\":\"ok\",\"uptime_seconds\":{}}}\n",
+            state.started.elapsed().as_secs()
+        )),
+        ("GET", "/v1/stats") => stats_response(state),
+        ("POST", "/v1/sweep") => submit_sweep(state, body),
+        ("GET", t) if t.strip_prefix("/v1/jobs/").is_some() => {
+            job_response(state, t.strip_prefix("/v1/jobs/").expect("prefix checked"))
+        }
+        ("GET", t) if t.strip_prefix("/v1/results/").is_some() => {
+            result_response(state, t.strip_prefix("/v1/results/").expect("prefix checked"))
+        }
+        (_, "/v1/health" | "/v1/stats" | "/v1/sweep") => {
+            Response::error(405, "method_not_allowed", "see docs/PROTOCOL.md for the verb map")
+        }
+        (_, t) if t.starts_with("/v1/jobs/") || t.starts_with("/v1/results/") => {
+            Response::error(405, "method_not_allowed", "job and result resources are GET-only")
+        }
+        _ => Response::error(404, "not_found", "unknown resource (the API lives under /v1/)"),
+    }
+}
+
+fn stats_response(state: &Arc<ServerState>) -> Response {
+    let counters = state.cache.counters();
+    let (mut queued, mut running, mut done, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for job in state.jobs.lock().expect("job registry lock").values() {
+        match &*job.status.lock().expect("job status lock") {
+            JobStatus::Queued => queued += 1,
+            JobStatus::Running => running += 1,
+            JobStatus::Done => done += 1,
+            JobStatus::Failed(_) => failed += 1,
+        }
+    }
+    let total_workers = state.config.sweep_workers.max(1);
+    Response::ok(format!(
+        "{{\"uptime_seconds\":{},\"requests\":{},\
+         \"cache\":{{\"memory_hits\":{},\"disk_hits\":{},\"hits\":{},\"misses\":{},\
+         \"evictions\":{},\"corrupt_entries\":{},\"resident\":{},\"hit_rate\":{}}},\
+         \"workers\":{{\"total\":{},\"busy\":{}}},\
+         \"jobs\":{{\"queued\":{queued},\"running\":{running},\"done\":{done},\
+         \"failed\":{failed}}}}}\n",
+        state.started.elapsed().as_secs(),
+        state.requests.load(Ordering::Relaxed),
+        counters.memory_hits,
+        counters.disk_hits,
+        counters.hits(),
+        counters.misses,
+        counters.evictions,
+        counters.corrupt_entries,
+        counters.resident,
+        json::number(counters.hit_rate()),
+        total_workers,
+        state.busy_workers.load(Ordering::Relaxed).min(total_workers),
+    ))
+}
+
+/// Reads an optional positive integer field, distinguishing "absent" from
+/// "present but invalid" (the latter is a client error worth a 400, not a
+/// silent fallback to defaults).
+fn optional_positive(doc: &JsonValue, key: &str) -> Result<Option<usize>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(value) => {
+            let n = value.as_f64().ok_or_else(|| format!("{key} must be a number"))?;
+            if n < 1.0 || n.fract() != 0.0 || n > u32::MAX.into() {
+                return Err(format!("{key} must be a positive integer"));
+            }
+            Ok(Some(n as usize))
+        }
+    }
+}
+
+/// Resolves one replay trace spec — `file:<path>` or a registered benchmark
+/// name — mirroring the CLI's `trace replay` semantics, but returning errors
+/// instead of exiting. File-backed traces are fully validated (checksum
+/// included) *before* the job is accepted, so corruption is a 400 at submit
+/// time, not a failed job minutes later.
+fn resolve_replay_spec(spec: &str, accesses: usize) -> Result<TraceSource, String> {
+    if let Some(path) = traceio::file_spec_path(spec) {
+        let reader = traceio::TraceReader::open(path).map_err(|err| format!("{spec}: {err}"))?;
+        reader.stats().map_err(|err| format!("{spec}: {err}"))?;
+        return Ok(reader.source(Some(accesses)));
+    }
+    let suite = traces::Suite::of(spec)
+        .ok_or_else(|| format!("unknown benchmark {spec:?} (see `alecto-harness list`)"))?;
+    Ok(suite.source(spec, accesses))
+}
+
+fn submit_sweep(state: &Arc<ServerState>, body: &str) -> Response {
+    let doc = match json::parse(body) {
+        Ok(doc) => doc,
+        Err(err) => return Response::error(400, "invalid_json", &err),
+    };
+    let Some(experiment) = doc.get("experiment").and_then(JsonValue::as_str) else {
+        return Response::error(400, "missing_experiment", "body needs an \"experiment\" string");
+    };
+    let quick = match doc.get("quick") {
+        None => false,
+        Some(JsonValue::Bool(b)) => *b,
+        Some(_) => return Response::error(400, "invalid_scale", "quick must be a boolean"),
+    };
+    let (accesses, multicore, jobs) = match (
+        optional_positive(&doc, "accesses"),
+        optional_positive(&doc, "multicore_accesses"),
+        optional_positive(&doc, "jobs"),
+    ) {
+        (Ok(a), Ok(m), Ok(j)) => (a, m, j),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            return Response::error(400, "invalid_scale", &e)
+        }
+    };
+    let scale = RunScale::resolve(
+        quick || experiment == "quick",
+        accesses,
+        multicore,
+        jobs.or(Some(state.config.default_jobs)),
+    );
+
+    let trace_specs: Vec<String> = match doc.get("traces") {
+        None => Vec::new(),
+        Some(JsonValue::Array(items)) => {
+            let mut specs = Vec::new();
+            for item in items {
+                match item.as_str() {
+                    Some(s) => specs.push(s.to_string()),
+                    None => {
+                        return Response::error(400, "invalid_traces", "traces must be strings")
+                    }
+                }
+            }
+            specs
+        }
+        Some(_) => return Response::error(400, "invalid_traces", "traces must be an array"),
+    };
+
+    let kind = if experiment == "replay" {
+        if trace_specs.is_empty() {
+            return Response::error(400, "missing_traces", "replay needs a non-empty traces array");
+        }
+        let mut sources = Vec::new();
+        for spec in &trace_specs {
+            match resolve_replay_spec(spec, scale.accesses) {
+                Ok(source) => sources.push(source),
+                Err(message) => return Response::error(400, "invalid_trace", &message),
+            }
+        }
+        SweepKind::Replay(sources)
+    } else {
+        if !trace_specs.is_empty() {
+            return Response::error(
+                400,
+                "invalid_traces",
+                "traces are only accepted with the \"replay\" experiment",
+            );
+        }
+        match figures::builder(experiment) {
+            Some(build) => SweepKind::Experiment(build),
+            None => {
+                return Response::error(
+                    400,
+                    "unknown_experiment",
+                    &format!("{experiment:?} is not a known experiment id"),
+                )
+            }
+        }
+    };
+
+    let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(JobState {
+        id,
+        experiment: experiment.to_string(),
+        scale,
+        kind: Mutex::new(Some(kind)),
+        status: Mutex::new(JobStatus::Queued),
+        cells: Mutex::new(Vec::new()),
+        cache_hits: AtomicU64::new(0),
+        cache_misses: AtomicU64::new(0),
+        result: Mutex::new(None),
+    });
+    state.jobs.lock().expect("job registry lock").insert(id, Arc::clone(&job));
+    state.queue.lock().expect("job queue lock").push_back(job);
+    state.queue_signal.notify_one();
+    Response {
+        status: 202,
+        body: format!(
+            "{{\"id\":\"{id}\",\"status\":\"queued\",\"experiment\":{},\
+             \"links\":{{\"job\":\"/v1/jobs/{id}\",\"result\":\"/v1/results/{id}\"}}}}\n",
+            json::string(experiment)
+        ),
+    }
+}
+
+fn find_job(state: &Arc<ServerState>, id: &str) -> Option<Arc<JobState>> {
+    let id: u64 = id.parse().ok()?;
+    state.jobs.lock().expect("job registry lock").get(&id).cloned()
+}
+
+fn job_response(state: &Arc<ServerState>, id: &str) -> Response {
+    let Some(job) = find_job(state, id) else {
+        return Response::error(404, "unknown_job", &format!("no job {id:?}"));
+    };
+    let status = job.status.lock().expect("job status lock").clone();
+    let cells: Vec<String> = job
+        .cells
+        .lock()
+        .expect("job cells lock")
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"key\":\"{:016x}\",\"algorithm\":{},\"benchmark\":{},\"ipc\":{},\
+                 \"cached\":{}}}",
+                c.key,
+                json::string(&c.algorithm),
+                json::string(&c.benchmark),
+                json::number(c.ipc),
+                c.cached
+            )
+        })
+        .collect();
+    let error_member = match &status {
+        JobStatus::Failed(message) => format!(",\"error\":{}", json::string(message)),
+        _ => String::new(),
+    };
+    Response::ok(format!(
+        "{{\"id\":\"{}\",\"experiment\":{},\"status\":\"{}\",\
+         \"scale\":{{\"accesses\":{},\"multicore_accesses\":{},\"jobs\":{}}},\
+         \"cells\":{{\"completed\":{},\"cache_hits\":{},\"cache_misses\":{}}},\
+         \"completed_cells\":{}{error_member},\"result\":\"/v1/results/{}\"}}\n",
+        job.id,
+        json::string(&job.experiment),
+        status.label(),
+        job.scale.accesses,
+        job.scale.multicore_accesses,
+        job.scale.jobs,
+        cells.len(),
+        job.cache_hits.load(Ordering::Relaxed),
+        job.cache_misses.load(Ordering::Relaxed),
+        json::array(cells),
+        job.id,
+    ))
+}
+
+fn result_response(state: &Arc<ServerState>, id: &str) -> Response {
+    let Some(job) = find_job(state, id) else {
+        return Response::error(404, "unknown_job", &format!("no job {id:?}"));
+    };
+    let status = job.status.lock().expect("job status lock").clone();
+    match status {
+        JobStatus::Done => {
+            let body = job.result.lock().expect("job result lock").clone();
+            // The stored string is the exact `experiments_to_json` output —
+            // served verbatim so the body is byte-identical to the CLI's
+            // `--json` file for the same request.
+            Response::ok(body.expect("done jobs store their result"))
+        }
+        JobStatus::Failed(message) => Response::error(500, "sweep_failed", &message),
+        JobStatus::Queued | JobStatus::Running => Response::error(
+            409,
+            "not_ready",
+            &format!("job {} is still {}; poll /v1/jobs/{}", job.id, status.label(), job.id),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let config = ServerConfig::default();
+        assert!(config.sweep_workers >= 1);
+        assert!(config.handler_threads >= 1);
+        assert_eq!(config.cache_capacity, CellCache::DEFAULT_CAPACITY);
+        assert!(config.cache_dir.is_none());
+    }
+
+    #[test]
+    fn status_labels_cover_the_lifecycle() {
+        assert_eq!(JobStatus::Queued.label(), "queued");
+        assert_eq!(JobStatus::Running.label(), "running");
+        assert_eq!(JobStatus::Done.label(), "done");
+        assert_eq!(JobStatus::Failed("boom".into()).label(), "failed");
+    }
+
+    #[test]
+    fn optional_positive_distinguishes_absent_and_invalid() {
+        let doc = json::parse(r#"{"accesses":500,"jobs":0,"quick":true}"#).unwrap();
+        assert_eq!(optional_positive(&doc, "accesses").unwrap(), Some(500));
+        assert_eq!(optional_positive(&doc, "missing").unwrap(), None);
+        assert!(optional_positive(&doc, "jobs").is_err(), "zero is invalid");
+        assert!(optional_positive(&doc, "quick").is_err(), "booleans are not counts");
+    }
+
+    #[test]
+    fn error_envelope_shape() {
+        let r = Response::error(400, "invalid_json", "bad \"quote\"");
+        assert_eq!(r.status, 400);
+        let doc = json::parse(&r.body).expect("envelope is valid JSON");
+        let error = doc.get("error").expect("error member");
+        assert_eq!(error.get("code").and_then(JsonValue::as_str), Some("invalid_json"));
+        assert_eq!(error.get("message").and_then(JsonValue::as_str), Some("bad \"quote\""));
+    }
+
+    #[test]
+    fn replay_specs_resolve_benchmarks_and_reject_junk() {
+        assert!(resolve_replay_spec("lbm", 100).is_ok());
+        assert!(resolve_replay_spec("no-such-benchmark", 100).is_err());
+        assert!(resolve_replay_spec("file:/does/not/exist.altr", 100).is_err());
+    }
+}

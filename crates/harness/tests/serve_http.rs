@@ -1,0 +1,258 @@
+//! End-to-end exercise of the sweep server over real sockets: submit,
+//! poll, fetch results, verify byte-identity with the in-process pipeline
+//! (the same one the CLI's `--json` writes through), and verify the second,
+//! identical submission is served entirely from the cell cache.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use harness::report::experiments_to_json;
+use harness::report::json::{self, JsonValue};
+use harness::{figures, RunScale, Server, ServerConfig};
+
+/// Issues one HTTP/1.1 request and returns `(status, body)`.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Submits a sweep and returns its job id.
+fn submit(addr: &str, request: &str) -> String {
+    let (status, body) = http(addr, "POST", "/v1/sweep", request);
+    assert_eq!(status, 202, "submission should be accepted: {body}");
+    let doc = json::parse(&body).expect("submission response is JSON");
+    doc.get("id").and_then(JsonValue::as_str).expect("submission carries an id").to_string()
+}
+
+/// Polls `/v1/jobs/<id>` until the job leaves the queued/running states,
+/// returning the final job document.
+fn await_job(addr: &str, id: &str) -> JsonValue {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "job {id} should be pollable: {body}");
+        let doc = json::parse(&body).expect("job document is JSON");
+        match doc.get("status").and_then(JsonValue::as_str) {
+            Some("queued" | "running") => {
+                assert!(Instant::now() < deadline, "job {id} did not finish in time");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Some("done" | "failed") => return doc,
+            other => panic!("job {id} has unexpected status {other:?}"),
+        }
+    }
+}
+
+/// Starts a server on an ephemeral port and returns its `host:port`.
+fn start_server(config: ServerConfig) -> String {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("resolved address").to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+const REPLAY_LBM: &str = r#"{"experiment":"replay","traces":["lbm"],"accesses":300}"#;
+
+#[test]
+fn sweep_lifecycle_cache_reuse_and_byte_identity() {
+    let addr = start_server(ServerConfig::default());
+
+    let (status, body) = http(&addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "health body: {body}");
+
+    // Cold sweep: simulated from scratch, every cell a cache miss.
+    let cold_id = submit(&addr, REPLAY_LBM);
+    let cold_job = await_job(&addr, &cold_id);
+    assert_eq!(cold_job.get("status").and_then(JsonValue::as_str), Some("done"));
+    let cold_cells = cold_job.get("cells").expect("cells member");
+    let completed = cold_cells.get("completed").and_then(JsonValue::as_f64).unwrap();
+    assert!(completed >= 2.0, "replay runs a baseline plus algorithms");
+    assert_eq!(cold_cells.get("cache_hits").and_then(JsonValue::as_f64), Some(0.0));
+    assert_eq!(cold_cells.get("cache_misses").and_then(JsonValue::as_f64), Some(completed));
+    let per_cell =
+        cold_job.get("completed_cells").and_then(JsonValue::as_array).expect("per-cell progress");
+    assert_eq!(per_cell.len() as f64, completed);
+    assert!(per_cell.iter().all(|c| c.get("cached").and_then(JsonValue::as_bool) == Some(false)));
+
+    let (status, cold_result) = http(&addr, "GET", &format!("/v1/results/{cold_id}"), "");
+    assert_eq!(status, 200);
+
+    // Byte-identity with the CLI pipeline: the server must serve exactly
+    // what `alecto-harness trace replay lbm --accesses 300 --json` writes.
+    let source = traces::Suite::of("lbm").expect("lbm registered").source("lbm", 300);
+    let expected = experiments_to_json(&[figures::replay(
+        std::slice::from_ref(&source),
+        &RunScale::resolve(false, Some(300), None, Some(0)),
+    )]);
+    assert_eq!(cold_result, expected, "server result differs from the CLI pipeline");
+
+    // Warm sweep: identical request, 100% served from the cell cache, and
+    // the report is byte-identical to the cold one.
+    let warm_id = submit(&addr, REPLAY_LBM);
+    let warm_job = await_job(&addr, &warm_id);
+    assert_eq!(warm_job.get("status").and_then(JsonValue::as_str), Some("done"));
+    let warm_cells = warm_job.get("cells").expect("cells member");
+    assert_eq!(warm_cells.get("cache_hits").and_then(JsonValue::as_f64), Some(completed));
+    assert_eq!(warm_cells.get("cache_misses").and_then(JsonValue::as_f64), Some(0.0));
+    let (status, warm_result) = http(&addr, "GET", &format!("/v1/results/{warm_id}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(warm_result, cold_result, "cached sweep must be byte-identical");
+
+    // The stats counters agree: at least half of all lookups hit (the warm
+    // sweep is all hits) and the worker pool is visible.
+    let (status, stats) = http(&addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let stats = json::parse(&stats).expect("stats is JSON");
+    let cache = stats.get("cache").expect("cache member");
+    assert_eq!(cache.get("hits").and_then(JsonValue::as_f64), Some(completed));
+    assert_eq!(cache.get("misses").and_then(JsonValue::as_f64), Some(completed));
+    assert!(cache.get("hit_rate").and_then(JsonValue::as_f64).unwrap() >= 0.5);
+    let workers = stats.get("workers").expect("workers member");
+    assert!(workers.get("total").and_then(JsonValue::as_f64).unwrap() >= 1.0);
+}
+
+#[test]
+fn concurrent_submissions_all_complete() {
+    let addr = start_server(ServerConfig { sweep_workers: 2, ..ServerConfig::default() });
+    let addr = Arc::new(addr);
+    let ids: Vec<String> = (0..4)
+        .map(|i| {
+            let addr = Arc::clone(&addr);
+            std::thread::spawn(move || {
+                // Two distinct benchmarks so some submissions share cells
+                // and some don't — both paths must complete.
+                let bench = if i % 2 == 0 { "lbm" } else { "povray" };
+                submit(
+                    &addr,
+                    &format!(r#"{{"experiment":"replay","traces":["{bench}"],"accesses":200}}"#),
+                )
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("submission thread"))
+        .collect();
+    assert_eq!(ids.len(), 4);
+    let mut results = Vec::new();
+    for id in &ids {
+        let job = await_job(&addr, id);
+        assert_eq!(job.get("status").and_then(JsonValue::as_str), Some("done"), "job {id}");
+        let (status, body) = http(&addr, "GET", &format!("/v1/results/{id}"), "");
+        assert_eq!(status, 200);
+        results.push(body);
+    }
+    // Same benchmark → byte-identical reports, whatever the submission
+    // interleaving; different benchmark → different reports.
+    assert_eq!(results[0], results[2]);
+    assert_eq!(results[1], results[3]);
+    assert_ne!(results[0], results[1]);
+}
+
+#[test]
+fn protocol_errors_use_the_error_envelope() {
+    let addr = start_server(ServerConfig::default());
+    let expect_code = |status: u16, body: &str, code: &str| {
+        let doc = json::parse(body).unwrap_or_else(|e| panic!("body {body:?} not JSON: {e}"));
+        let got = doc.get("error").and_then(|e| e.get("code")).and_then(JsonValue::as_str);
+        assert_eq!(got, Some(code), "status {status} body {body}");
+    };
+
+    let (status, body) = http(&addr, "POST", "/v1/sweep", "not json");
+    assert_eq!(status, 400);
+    expect_code(status, &body, "invalid_json");
+
+    let (status, body) = http(&addr, "POST", "/v1/sweep", r#"{"experiment":"fig99"}"#);
+    assert_eq!(status, 400);
+    expect_code(status, &body, "unknown_experiment");
+
+    let (status, body) = http(&addr, "POST", "/v1/sweep", r#"{"experiment":"replay"}"#);
+    assert_eq!(status, 400);
+    expect_code(status, &body, "missing_traces");
+
+    let (status, body) =
+        http(&addr, "POST", "/v1/sweep", r#"{"experiment":"fig8","traces":["lbm"]}"#);
+    assert_eq!(status, 400);
+    expect_code(status, &body, "invalid_traces");
+
+    let (status, body) = http(&addr, "POST", "/v1/sweep", r#"{"experiment":"fig8","jobs":0}"#);
+    assert_eq!(status, 400);
+    expect_code(status, &body, "invalid_scale");
+
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/v1/sweep",
+        r#"{"experiment":"replay","traces":["file:/no/such.altr"]}"#,
+    );
+    assert_eq!(status, 400);
+    expect_code(status, &body, "invalid_trace");
+
+    let (status, body) = http(&addr, "GET", "/v1/jobs/999", "");
+    assert_eq!(status, 404);
+    expect_code(status, &body, "unknown_job");
+
+    let (status, body) = http(&addr, "GET", "/v1/results/999", "");
+    assert_eq!(status, 404);
+    expect_code(status, &body, "unknown_job");
+
+    let (status, body) = http(&addr, "PUT", "/v1/sweep", "{}");
+    assert_eq!(status, 405);
+    expect_code(status, &body, "method_not_allowed");
+
+    let (status, body) = http(&addr, "GET", "/v2/anything", "");
+    assert_eq!(status, 404);
+    expect_code(status, &body, "not_found");
+}
+
+#[test]
+fn cache_dir_serves_warm_sweeps_across_server_instances() {
+    let dir = std::env::temp_dir().join(format!("alecto-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let first =
+        start_server(ServerConfig { cache_dir: Some(dir.clone()), ..ServerConfig::default() });
+    let cold_id = submit(&first, REPLAY_LBM);
+    await_job(&first, &cold_id);
+    let (_, cold_result) = http(&first, "GET", &format!("/v1/results/{cold_id}"), "");
+
+    // A brand-new server instance (fresh memory tier) over the same
+    // directory serves the identical bytes from disk.
+    let second =
+        start_server(ServerConfig { cache_dir: Some(dir.clone()), ..ServerConfig::default() });
+    let warm_id = submit(&second, REPLAY_LBM);
+    let warm_job = await_job(&second, &warm_id);
+    let cells = warm_job.get("cells").expect("cells member");
+    let hits = cells.get("cache_hits").and_then(JsonValue::as_f64).unwrap();
+    assert_eq!(cells.get("cache_misses").and_then(JsonValue::as_f64), Some(0.0));
+    assert!(hits >= 2.0, "all cells should come from the persisted tier");
+    let (status, warm_result) = http(&second, "GET", &format!("/v1/results/{warm_id}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(warm_result, cold_result, "disk-tier reports must be byte-identical");
+
+    let (_, stats) = http(&second, "GET", "/v1/stats", "");
+    let stats = json::parse(&stats).expect("stats is JSON");
+    let disk_hits =
+        stats.get("cache").and_then(|c| c.get("disk_hits")).and_then(JsonValue::as_f64).unwrap();
+    assert!(disk_hits >= 2.0, "the warm sweep's hits are disk hits: {stats:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,6 +8,12 @@
 //! serial-vs-parallel byte-identical determinism contract of the experiment
 //! engine is preserved — timing makes runs slower or faster in simulated
 //! cycles, never different.
+//!
+//! [`TimingParams`] lives inside the system configuration, so every knob
+//! here reaches the harness cell cache's content-addressed key through the
+//! config's `Debug` rendering: changing a drain rate or a latency invalidates
+//! exactly the cached cells it would have changed (see `docs/ARCHITECTURE.md`,
+//! "The determinism contract").
 
 use crate::stats::Cycle;
 

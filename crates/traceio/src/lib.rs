@@ -17,6 +17,12 @@
 //! to a few bytes per record; even pointer-chase streams stay well under the
 //! 22 bytes a raw in-memory record occupies.
 //!
+//! The header's body checksum is also the trace's *identity*: sources minted
+//! by [`TraceReader::source`] fold it (plus the recorded seed) into their
+//! [`alecto_types::TraceSource::fingerprint`], which is how the harness's
+//! cell cache and sweep server recognise a `file:` trace by content rather
+//! than by path — see `docs/PROTOCOL.md` for the full key derivation.
+//!
 //! # Example
 //!
 //! ```

@@ -362,6 +362,11 @@ impl TraceReader {
                 }))
             },
         )
+        // Tie the source identity to the file *content* (body checksum +
+        // generation seed from the header), not the path: re-recorded or
+        // moved files only share a cache identity when their records match.
+        .with_content_tag(&format!("altr:{:#018x}", header_checksum))
+        .with_content_seed(self.header.seed)
     }
 }
 

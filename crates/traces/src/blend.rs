@@ -75,10 +75,16 @@ impl Blend {
     #[must_use]
     pub fn source(&self, accesses: usize) -> TraceSource {
         let blend = self.clone();
+        // The record stream is a pure function of the whole blend description
+        // (weights, gap, working-set sizes, seed), so the entire Debug
+        // rendering is folded into the source fingerprint: any parameter
+        // change — not just a rename — yields a distinct cache identity.
+        let identity = format!("{self:?}");
         TraceSource::new(self.name.clone(), self.memory_intensive, accesses, move || {
             let (components, weights) = blend.components();
             Box::new(interleave_weighted_iter(components, weights, blend.seed))
         })
+        .with_content_tag(&identity)
     }
 
     /// The weighted component streams this blend mixes.

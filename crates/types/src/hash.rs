@@ -67,6 +67,32 @@ impl FoldedPcHasher {
     }
 }
 
+/// Offset basis of the FNV-1a64 hash ([`fnv1a_64`] starts from this).
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a64 running state — the workspace's canonical
+/// content hash. The same function checksums `.altr` trace bodies (`traceio`)
+/// and derives [`crate::TraceSource`] fingerprints and sweep-server cell-cache
+/// keys (`harness::cellcache`), so a trace's identity means the same thing
+/// everywhere. Start from [`FNV1A_OFFSET`] and chain calls to hash
+/// incrementally.
+///
+/// ```
+/// # use alecto_types::{fnv1a_64, FNV1A_OFFSET};
+/// let whole = fnv1a_64(FNV1A_OFFSET, b"foobar");
+/// let chained = fnv1a_64(fnv1a_64(FNV1A_OFFSET, b"foo"), b"bar");
+/// assert_eq!(whole, chained);
+/// assert_eq!(whole, 0x8594_4171_f739_67e8); // reference FNV-1a64 vector
+/// ```
+#[must_use]
+pub fn fnv1a_64(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state = (state ^ u64::from(b)).wrapping_mul(FNV1A_PRIME);
+    }
+    state
+}
+
 /// A simple multiplicative hash used for cache set indexing of line addresses.
 /// Not part of the paper's proposal; used internally by table index functions
 /// to avoid pathological aliasing in synthetic traces.

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::addr::{Addr, Pc};
+use crate::hash::{fnv1a_64, FNV1A_OFFSET};
 use crate::request::{AccessKind, DemandAccess};
 
 /// One memory access in a workload trace.
@@ -122,6 +123,7 @@ pub struct TraceSource {
     name: String,
     memory_intensive: bool,
     accesses: usize,
+    fingerprint: u64,
     factory: Arc<dyn Fn() -> BoxedRecordIter + Send + Sync>,
 }
 
@@ -130,6 +132,13 @@ impl TraceSource {
     ///
     /// `factory` may yield an *unbounded* iterator; [`TraceSource::records`]
     /// truncates it to `accesses` records.
+    ///
+    /// The source's [`TraceSource::fingerprint`] starts as a hash of the name,
+    /// intensity flag and access budget. A constructor whose record stream
+    /// depends on anything beyond those — an explicit generation seed, a
+    /// backing file — must fold that extra identity in with
+    /// [`TraceSource::with_content_seed`] / [`TraceSource::with_content_tag`],
+    /// or distinct streams could share a fingerprint.
     #[must_use]
     pub fn new(
         name: impl Into<String>,
@@ -137,21 +146,36 @@ impl TraceSource {
         accesses: usize,
         factory: impl Fn() -> BoxedRecordIter + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), memory_intensive, accesses, factory: Arc::new(factory) }
+        let name = name.into();
+        let mut fingerprint = fnv1a_64(FNV1A_OFFSET, b"src|");
+        fingerprint = fnv1a_64(fingerprint, name.as_bytes());
+        fingerprint = fnv1a_64(fingerprint, &[u8::from(memory_intensive)]);
+        fingerprint = fnv1a_64(fingerprint, &(accesses as u64).to_le_bytes());
+        Self { name, memory_intensive, accesses, fingerprint, factory: Arc::new(factory) }
     }
 
     /// Wraps an already-materialised workload (the records are shared, not
     /// copied, between replays). The legacy bridge for callers that still
-    /// build `Workload`s eagerly.
+    /// build `Workload`s eagerly. The fingerprint covers the actual record
+    /// bytes, so two materialised workloads share a fingerprint exactly when
+    /// their traces are identical.
     #[must_use]
     pub fn from_workload(workload: Workload) -> Self {
         let Workload { name, records, memory_intensive } = workload;
         let accesses = records.len();
+        let mut content = fnv1a_64(FNV1A_OFFSET, b"records|");
+        for r in &records {
+            content = fnv1a_64(content, &r.pc.raw().to_le_bytes());
+            content = fnv1a_64(content, &r.addr.raw().to_le_bytes());
+            content = fnv1a_64(content, &r.gap_instructions.to_le_bytes());
+            content = fnv1a_64(content, &[u8::from(r.kind.is_load()), u8::from(r.dependent)]);
+        }
         let records = Arc::new(records);
         Self::new(name, memory_intensive, accesses, move || {
             let records = Arc::clone(&records);
             Box::new((0..records.len()).map(move |i| records[i]))
         })
+        .with_content_seed(content)
     }
 
     /// Benchmark name.
@@ -187,10 +211,53 @@ impl TraceSource {
         Workload::new(self.name.clone(), self.records().collect(), self.memory_intensive)
     }
 
+    /// The source's content fingerprint: an FNV-1a64 digest of everything
+    /// that determines the replayed record stream *and* how it is labelled in
+    /// reports — the construction name, intensity flag, access budget, any
+    /// folded-in seed or tag, and every derivation
+    /// ([`TraceSource::with_name`], [`TraceSource::with_addr_offset`])
+    /// applied since.
+    ///
+    /// Two sources with equal fingerprints replay byte-identical streams
+    /// under identical labels (provided constructors uphold the folding
+    /// contract documented on [`TraceSource::new`]), which is what lets the
+    /// sweep server's cell cache treat the fingerprint as the trace's
+    /// identity in a content-addressed cache key.
+    #[must_use]
+    pub const fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Folds an explicit generation seed into the fingerprint. Constructors
+    /// whose stream depends on a seed beyond the benchmark name (e.g. per-core
+    /// job seeds) must call this, or two differently seeded streams would be
+    /// indistinguishable to the cell cache.
+    #[must_use]
+    pub fn with_content_seed(mut self, seed: u64) -> Self {
+        self.fingerprint = fnv1a_64(self.fingerprint, b"|seed:");
+        self.fingerprint = fnv1a_64(self.fingerprint, &seed.to_le_bytes());
+        self
+    }
+
+    /// Folds an arbitrary identity tag into the fingerprint — e.g. the
+    /// `.altr` body checksum of a file-backed source, which ties the
+    /// fingerprint to the file's *content* rather than its path.
+    #[must_use]
+    pub fn with_content_tag(mut self, tag: &str) -> Self {
+        self.fingerprint = fnv1a_64(self.fingerprint, b"|tag:");
+        self.fingerprint = fnv1a_64(self.fingerprint, tag.as_bytes());
+        self
+    }
+
     /// Renames the source (e.g. to make sweep rows unique in a merged grid).
+    /// The new label is folded into the fingerprint: reports key cells by
+    /// benchmark name, so differently named replays of the same stream are
+    /// different cells.
     #[must_use]
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self.fingerprint = fnv1a_64(self.fingerprint, b"|name:");
+        self.fingerprint = fnv1a_64(self.fingerprint, self.name.as_bytes());
         self
     }
 
@@ -198,8 +265,10 @@ impl TraceSource {
     /// how multi-core sweeps give each core its own address-space slice
     /// without materialising per-core record vectors.
     #[must_use]
-    pub fn with_addr_offset(self, offset: u64) -> Self {
+    pub fn with_addr_offset(mut self, offset: u64) -> Self {
         let inner = self.factory;
+        self.fingerprint = fnv1a_64(self.fingerprint, b"|off:");
+        self.fingerprint = fnv1a_64(self.fingerprint, &offset.to_le_bytes());
         Self {
             factory: Arc::new(move || {
                 Box::new(inner().map(move |r| MemoryRecord {
@@ -294,5 +363,59 @@ mod tests {
     fn sources_are_send_and_sync() {
         const fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TraceSource>();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_clones_and_identical_constructions() {
+        let a = counting_source(5);
+        let b = counting_source(5);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.clone().fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_diverges_on_every_identity_component() {
+        let base = counting_source(5);
+        assert_ne!(base.fingerprint(), counting_source(6).fingerprint(), "access budget");
+        assert_ne!(base.fingerprint(), base.clone().with_name("other").fingerprint(), "rename");
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_addr_offset(64).fingerprint(),
+            "address offset"
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_content_seed(7).fingerprint(),
+            "content seed"
+        );
+        assert_ne!(
+            base.clone().with_content_seed(7).fingerprint(),
+            base.clone().with_content_seed(8).fingerprint(),
+            "different seeds"
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().with_content_tag("altr:0xabc").fingerprint(),
+            "content tag"
+        );
+    }
+
+    #[test]
+    fn fingerprint_folding_is_order_sensitive() {
+        let a = counting_source(3).with_name("x").with_addr_offset(64);
+        let b = counting_source(3).with_addr_offset(64).with_name("x");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn workload_fingerprint_tracks_record_content() {
+        let mk = |gap| {
+            Workload::new("w", vec![MemoryRecord::load(Pc::new(1), Addr::new(64), gap)], false)
+        };
+        let a = TraceSource::from_workload(mk(4));
+        let b = TraceSource::from_workload(mk(4));
+        let c = TraceSource::from_workload(mk(5));
+        assert_eq!(a.fingerprint(), b.fingerprint(), "identical traces share identity");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "record content must matter");
     }
 }

@@ -1,0 +1,101 @@
+//! Root-level integration test for the memoizing sweep pipeline: a cached
+//! sweep must render byte-identical reports to a cold run regardless of the
+//! worker count, and a corrupted on-disk cache entry must be detected by its
+//! checksum and transparently recomputed — never served.
+
+use alecto_repro::harness::report::experiments_to_json;
+use alecto_repro::harness::{figures, with_cell_executor, CellCache, RunScale};
+use alecto_repro::traces;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn render(jobs: usize, cache: Option<Arc<CellCache>>) -> String {
+    let source = traces::Suite::of("lbm").expect("lbm registered").source("lbm", 400);
+    let scale = RunScale::resolve(false, Some(400), None, Some(jobs));
+    let build = || experiments_to_json(&[figures::replay(std::slice::from_ref(&source), &scale)]);
+    match cache {
+        Some(cache) => with_cell_executor(cache, build),
+        None => build(),
+    }
+}
+
+fn cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("alecto-sweep-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cell"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn cached_sweep_is_byte_identical_to_cold_at_any_worker_count() {
+    let dir = cache_dir("jobs");
+    let cold = render(1, None);
+
+    // Cold pass through the cache at a different worker count: every cell is
+    // a miss, yet the rendered report is identical to the plain run.
+    let cache = Arc::new(CellCache::with_dir(64, &dir).expect("create cache dir"));
+    let filled = render(2, Some(Arc::clone(&cache)));
+    assert_eq!(filled, cold, "memoizing executor must not perturb the report");
+    let after_fill = cache.counters();
+    assert!(after_fill.misses >= 2, "cold pass populates the cache: {after_fill:?}");
+    assert_eq!(after_fill.hits(), 0);
+
+    // Warm pass at yet another worker count: all hits, same bytes.
+    let warm = render(4, Some(Arc::clone(&cache)));
+    assert_eq!(warm, cold, "cached cells must replay byte-identically");
+    let after_warm = cache.counters();
+    assert_eq!(after_warm.misses, after_fill.misses, "warm pass simulates nothing");
+    assert_eq!(after_warm.hits(), after_fill.misses, "every cell served from cache");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entries_are_recomputed_not_served() {
+    let dir = cache_dir("corrupt");
+    let cold = render(1, None);
+
+    let cache = Arc::new(CellCache::with_dir(64, &dir).expect("create cache dir"));
+    assert_eq!(render(2, Some(Arc::clone(&cache))), cold);
+    drop(cache);
+
+    // Flip one byte inside every persisted entry's JSON body. The header
+    // checksum no longer matches, so a fresh cache (empty memory tier) must
+    // reject the entries instead of deserializing garbage.
+    let files = entry_files(&dir);
+    assert!(files.len() >= 2, "expected persisted cells in {dir:?}");
+    for file in &files {
+        let mut bytes = std::fs::read(file).expect("read cache entry");
+        let newline = bytes.iter().position(|&b| b == b'\n').expect("header line") + 1;
+        let target = newline + (bytes.len() - newline) / 2;
+        bytes[target] ^= 0x20;
+        std::fs::write(file, bytes).expect("rewrite corrupted entry");
+    }
+
+    let reopened = Arc::new(CellCache::with_dir(64, &dir).expect("reopen cache dir"));
+    let healed = render(2, Some(Arc::clone(&reopened)));
+    assert_eq!(healed, cold, "corruption must trigger recompute, not bad data");
+    let counters = reopened.counters();
+    assert_eq!(counters.corrupt_entries as usize, files.len(), "{counters:?}");
+    assert_eq!(counters.hits(), 0, "no corrupted entry may count as a hit");
+    assert_eq!(counters.misses as usize, files.len(), "every cell was recomputed");
+
+    // The recompute also healed the disk tier: another fresh instance now
+    // serves everything from disk.
+    let healed_cache = Arc::new(CellCache::with_dir(64, &dir).expect("reopen healed dir"));
+    assert_eq!(render(1, Some(Arc::clone(&healed_cache))), cold);
+    let counters = healed_cache.counters();
+    assert_eq!(counters.misses, 0, "healed entries serve from disk: {counters:?}");
+    assert!(counters.disk_hits >= 2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
