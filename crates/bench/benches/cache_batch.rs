@@ -1,0 +1,131 @@
+//! Batched vs scalar hot paths in the memory system: the amortised
+//! `Hierarchy::demand_access_batch` against a per-request `demand_access_kind`
+//! loop, and the wide-compare `Cache::contains_batch` probe against scalar
+//! `contains` calls. Results are identical by construction (pinned by the
+//! memsys tests) — these benches exist to show the dispatch amortisation and
+//! the packed-tag wide scan are wall-clock wins, and to catch regressions in
+//! either.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memsys::{Cache, CacheParams, DemandRequest, Hierarchy, HierarchyParams};
+
+use alecto_types::LineAddr;
+
+const BATCH: usize = 4096;
+
+/// A deterministic mixed request sequence, timestamps advancing the way a
+/// core's retirement time does: streaming + strided + xorshift-random lines,
+/// one store in eight.
+fn request_sequence(len: usize) -> Vec<DemandRequest> {
+    let mut out = Vec::with_capacity(len);
+    let mut streaming = 0x10_0000u64;
+    let mut strided = 0x40_0000u64;
+    let mut rnd = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..len {
+        let line = match i % 3 {
+            0 => {
+                streaming += 1;
+                streaming
+            }
+            1 => {
+                strided += 5;
+                strided
+            }
+            _ => {
+                rnd ^= rnd << 13;
+                rnd ^= rnd >> 7;
+                rnd ^= rnd << 17;
+                0x80_0000 + (rnd % (1 << 16))
+            }
+        };
+        out.push(DemandRequest {
+            line: LineAddr::new(line),
+            now: (i as u64) * 3,
+            is_store: i % 8 == 0,
+        });
+    }
+    out
+}
+
+fn bench_demand_batch(c: &mut Criterion) {
+    let requests = request_sequence(64 * 1024);
+    let mut group = c.benchmark_group("hierarchy_demand");
+    group.sample_size(20);
+
+    group.bench_function("scalar_loop", |b| {
+        let mut hier = Hierarchy::new(HierarchyParams::skylake_like(1));
+        b.iter(|| {
+            let mut latency = 0u64;
+            for r in &requests {
+                latency += hier.demand_access_kind(0, r.line, r.now, r.is_store).latency;
+            }
+            black_box(latency)
+        });
+    });
+
+    group.bench_function("batched", |b| {
+        let mut hier = Hierarchy::new(HierarchyParams::skylake_like(1));
+        let mut results = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            let mut latency = 0u64;
+            for chunk in requests.chunks(BATCH) {
+                results.clear();
+                hier.demand_access_batch(0, chunk, &mut results);
+                latency += results.iter().map(|r| r.latency).sum::<u64>();
+            }
+            black_box(latency)
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_probe_batch(c: &mut Criterion) {
+    // A resident working set over the L3's 16 ways — the widest scan in
+    // Table I, where the chunked wide compare earns its keep.
+    let lines: Vec<LineAddr> = {
+        let mut rnd = 777u64;
+        (0..64 * 1024)
+            .map(|_| {
+                rnd ^= rnd << 13;
+                rnd ^= rnd >> 7;
+                rnd ^= rnd << 17;
+                LineAddr::new(rnd % 24_576)
+            })
+            .collect()
+    };
+    let mut cache = Cache::new(CacheParams::l3_default(1));
+    for &line in &lines {
+        cache.fill(line, None, None, false);
+    }
+    let mut group = c.benchmark_group("cache_probe");
+    group.sample_size(20);
+
+    group.bench_function("scalar_contains", |b| {
+        b.iter(|| {
+            let mut resident = 0usize;
+            for &line in &lines {
+                resident += usize::from(cache.contains(line));
+            }
+            black_box(resident)
+        });
+    });
+
+    group.bench_function("contains_batch", |b| {
+        let mut out = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            let mut resident = 0usize;
+            for chunk in lines.chunks(BATCH) {
+                out.clear();
+                cache.contains_batch(chunk, &mut out);
+                resident += out.iter().filter(|&&r| r).count();
+            }
+            black_box(resident)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_demand_batch, bench_probe_batch);
+criterion_main!(benches);

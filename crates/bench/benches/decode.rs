@@ -1,0 +1,63 @@
+//! Serial vs block-parallel `.altr` decode on a large in-memory document.
+//! The acceptance bar for the parallel reader: at 4 workers the wall-clock
+//! must beat the serial decoder on a multi-block trace (the output is
+//! byte-identical by construction — pinned by the traceio tests — so speed
+//! is the only thing left to measure).
+
+use std::io::Cursor;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use traceio::{decode_document, decode_document_parallel, TraceWriter};
+
+const ACCESSES: usize = 200_000;
+
+/// One large encoded document per pattern family: sequential (cheap blocks)
+/// and pointer-chase (expensive, wide-delta blocks — where parallel decode
+/// pays off most).
+fn corpora() -> Vec<(&'static str, Vec<u8>)> {
+    [("stream", "lbm"), ("chase", "mcf")]
+        .into_iter()
+        .map(|(label, bench)| {
+            let source = traces::spec06::source(bench, ACCESSES);
+            let mut writer =
+                TraceWriter::new(Cursor::new(Vec::new()), bench, true, 0).expect("header");
+            writer.write_all(source.records()).expect("encode");
+            (label, writer.finish_into_inner().expect("finish").1.into_inner())
+        })
+        .collect()
+}
+
+fn serial_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_serial");
+    group.sample_size(10);
+    for (label, bytes) in corpora() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (_, records) = decode_document(black_box(&bytes)).expect("decode");
+                black_box(records.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn parallel_decode(c: &mut Criterion) {
+    for workers in [2usize, 4] {
+        let name = format!("decode_parallel_w{workers}");
+        let mut group = c.benchmark_group(&name);
+        group.sample_size(10);
+        for (label, bytes) in corpora() {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let (_, records) =
+                        decode_document_parallel(black_box(&bytes), workers).expect("decode");
+                    black_box(records.len())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, serial_decode, parallel_decode);
+criterion_main!(benches);

@@ -62,7 +62,8 @@ fn drive_loop_under_timing_presets(c: &mut Criterion) {
                     SelectionAlgorithm::Alecto,
                     CompositeKind::GsCsPmp,
                 );
-                let report = system.run_sources(std::slice::from_ref(&source));
+                let report =
+                    system.run_sources(std::slice::from_ref(&source)).expect("non-empty sources");
                 black_box(report.avg_mem_latency())
             });
         });

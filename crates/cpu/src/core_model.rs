@@ -124,15 +124,19 @@ impl CoreModel {
         // --- Load-queue limit -------------------------------------------------
         let is_load = record.kind == AccessKind::Load;
         if is_load {
-            while let Some(&front) = self.inflight_loads.front() {
-                if front <= self.fetch_time || self.inflight_loads.len() >= self.load_queue {
-                    if front > self.fetch_time {
-                        self.fetch_time = front;
-                    }
-                    self.inflight_loads.pop_front();
-                } else {
-                    break;
-                }
+            // Loads whose data has already returned free their queue entries.
+            self.inflight_loads.retain(|&completion| completion > self.fetch_time);
+            // A full queue stalls fetch until the *earliest-completing*
+            // outstanding load returns. Completions are not monotonic in
+            // issue order (an L1 hit issued after a DRAM miss returns first),
+            // so the front entry is not the one that frees the queue.
+            while self.inflight_loads.len() >= self.load_queue {
+                let (idx, earliest) = self.inflight_loads.iter().copied().enumerate().fold(
+                    (0, f64::INFINITY),
+                    |best, (i, c)| if c < best.1 { (i, c) } else { best },
+                );
+                self.fetch_time = self.fetch_time.max(earliest);
+                self.inflight_loads.remove(idx);
             }
         }
 
@@ -174,9 +178,6 @@ impl CoreModel {
         if is_load {
             self.retire_time = self.retire_time.max(completion);
             self.inflight_loads.push_back(completion);
-            if self.inflight_loads.len() > self.load_queue {
-                self.inflight_loads.pop_front();
-            }
         }
         self.rob_window.push_back((self.instructions, self.retire_time));
 
@@ -193,13 +194,16 @@ impl CoreModel {
     /// Produces the per-core report after the trace has been consumed.
     #[must_use]
     pub fn report(&self, workload_name: &str, hierarchy: &Hierarchy) -> CoreReport {
-        let cycles = self.retire_time.max(1.0);
+        // Round the cycle count up once and derive IPC from the *rounded*
+        // value, so a JSON consumer recomputing `instructions / cycles` from
+        // the report gets exactly the report's own `ipc` field.
+        let cycles = self.retire_time.max(1.0).ceil() as u64;
         CoreReport {
             workload: workload_name.to_string(),
             selector: self.controller.selector_name().to_string(),
             instructions: self.instructions,
-            cycles: cycles as u64,
-            ipc: self.instructions as f64 / cycles,
+            cycles,
+            ipc: self.instructions as f64 / cycles as f64,
             timing: *hierarchy.timing_stats(self.core_id),
             l1: *hierarchy.l1_stats(self.core_id),
             l2: *hierarchy.l2_stats(self.core_id),
@@ -366,6 +370,43 @@ mod tests {
         assert_eq!(report.instructions, 100 * 10);
         assert_eq!(report.workload, "test");
         assert_eq!(report.selector, "NoPrefetch");
+    }
+
+    #[test]
+    fn ipc_is_derived_from_the_reported_cycle_count() {
+        // The report's `ipc` and `cycles` must agree exactly: a consumer
+        // recomputing instructions / cycles from the (integer) JSON fields
+        // reproduces the report's own `ipc`.
+        for gap in [2u32, 20, 60] {
+            let report = run(SelectionAlgorithm::Alecto, &stream_trace(2_000, gap));
+            let recomputed = report.instructions as f64 / report.cycles as f64;
+            assert!(
+                (report.ipc - recomputed).abs() < 1e-12,
+                "ipc {} must equal instructions/cycles {recomputed}",
+                report.ipc
+            );
+        }
+    }
+
+    #[test]
+    fn load_queue_never_exceeds_capacity() {
+        // The queue frees the earliest-completing entry on a stall and never
+        // transiently holds more than `load_queue` completions.
+        let config = SystemConfig::skylake_like(1);
+        let controller =
+            PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::NoPrefetching);
+        let mut core = CoreModel::new(0, &config, controller);
+        let mut hier = Hierarchy::new(HierarchyParams::skylake_like(1));
+        // Zero-gap DRAM-bound loads keep the queue saturated.
+        for r in &stream_trace(4_000, 0) {
+            core.step(r, &mut hier);
+            assert!(
+                core.inflight_loads.len() <= config.load_queue,
+                "load queue holds {} entries, capacity {}",
+                core.inflight_loads.len(),
+                config.load_queue
+            );
+        }
     }
 
     #[test]

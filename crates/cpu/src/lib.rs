@@ -42,4 +42,4 @@ pub use core_model::CoreModel;
 pub use metrics::{CoreReport, PrefetcherReport, SystemReport};
 pub use prefetch::CompositeKind;
 pub use selection::{build_selector, SelectionAlgorithm};
-pub use system::{run_single_core, System};
+pub use system::{run_single_core, DriveOptions, RunError, System, DEFAULT_BATCH_RECORDS};

@@ -2,6 +2,22 @@
 //! [`memsys::Hierarchy`], and a round-robin-by-time scheduler that keeps the
 //! cores in rough lockstep so that shared-resource contention (L3, DRAM
 //! channels) is modelled faithfully.
+//!
+//! # The batched producer/consumer pipeline
+//!
+//! Record production (trace generation, `.altr` decode) and record
+//! consumption (the timing model) are separable: producers only decide
+//! *where* each core's records come from, never the order the drive loop
+//! consumes them in. [`DriveOptions`] exposes that split — records move from
+//! sources to the drive loop in batches, optionally produced on background
+//! threads feeding bounded per-core queues — and the serial min-time merge in
+//! [`System::drive`] stays untouched, so every batch size × producer count
+//! combination yields byte-identical reports (pinned by the determinism
+//! suite).
+
+use std::fmt;
+use std::sync::mpsc;
+use std::thread;
 
 use alecto_types::{MemoryRecord, TraceSource, Workload};
 use memsys::Hierarchy;
@@ -12,6 +28,65 @@ use crate::controller::PrefetchController;
 use crate::core_model::CoreModel;
 use crate::metrics::SystemReport;
 use crate::selection::SelectionAlgorithm;
+
+/// Records per batch moved from a producer to the drive loop when no other
+/// size is requested. Matches the `.altr` block size, so a batch of a
+/// replayed trace is one decoded block.
+pub const DEFAULT_BATCH_RECORDS: usize = 4096;
+
+/// Batches a producer may buffer ahead of the drive loop, per core. Bounds
+/// the memory of a run at `cores × queue × batch` records while letting
+/// producers stay ahead of the consumer.
+const PRODUCER_QUEUE_BATCHES: usize = 4;
+
+/// Validation error from [`System::run_sources`]: the run cannot start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The source list was empty — there is nothing to assign to the cores.
+    NoSources,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSources => f.write_str("at least one workload is required"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Execution knobs for a run: how records move from the sources to the drive
+/// loop. These change wall-clock behaviour only, never simulated results —
+/// which is why they are deliberately *not* part of [`SystemConfig`] (whose
+/// `Debug` rendering feeds the harness cell cache key) and are never folded
+/// into trace fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveOptions {
+    /// Records per batch handed from a producer to the drive loop (min 1).
+    /// Batching amortises per-record iterator dispatch; concatenating the
+    /// batches reproduces the per-record stream exactly.
+    pub batch_records: usize,
+    /// Background producer threads generating/decoding record batches, one
+    /// per core up to the core count (`0` produces inline on the driving
+    /// thread). Each producer feeds a bounded queue the drive loop consumes
+    /// in the usual deterministic timestamp-order merge.
+    pub producer_threads: usize,
+}
+
+impl DriveOptions {
+    /// The default execution knobs (batched, inline production).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { batch_records: DEFAULT_BATCH_RECORDS, producer_threads: 0 }
+    }
+}
+
+impl Default for DriveOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// A complete simulated system.
 #[derive(Debug)]
@@ -76,19 +151,73 @@ impl System {
     /// O(1) trace memory however long the run. Produces exactly the report
     /// `run` would produce over the materialised workloads.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sources` is empty.
-    pub fn run_sources(&mut self, sources: &[TraceSource]) -> SystemReport {
-        assert!(!sources.is_empty(), "at least one workload is required");
+    /// Returns [`RunError::NoSources`] if `sources` is empty.
+    pub fn run_sources(&mut self, sources: &[TraceSource]) -> Result<SystemReport, RunError> {
+        self.run_sources_with(sources, DriveOptions::default())
+    }
+
+    /// [`System::run_sources`] with explicit execution knobs. Whatever the
+    /// batch size or producer count, the drive loop consumes the identical
+    /// per-core record sequences in the identical deterministic merge order,
+    /// so the report is byte-identical to `run_sources` — `options` trades
+    /// wall-clock for threads, nothing else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::NoSources`] if `sources` is empty.
+    pub fn run_sources_with(
+        &mut self,
+        sources: &[TraceSource],
+        options: DriveOptions,
+    ) -> Result<SystemReport, RunError> {
+        if sources.is_empty() {
+            return Err(RunError::NoSources);
+        }
         let names: Vec<&str> =
             (0..self.cores.len()).map(|i| sources[i % sources.len()].name()).collect();
+        let batch = options.batch_records.max(1);
+        let producers = options.producer_threads.min(self.cores.len());
         // Each core replays its own iterator, even when several cores share
         // one source (homogeneous mixes).
-        let streams: Vec<RecordStream<'_>> = (0..self.cores.len())
-            .map(|i| Box::new(sources[i % sources.len()].records()) as RecordStream<'_>)
-            .collect();
-        self.drive(&names, streams)
+        if producers == 0 {
+            let streams: Vec<RecordStream<'_>> = (0..self.cores.len())
+                .map(|i| {
+                    Box::new(sources[i % sources.len()].record_batches(batch).flatten())
+                        as RecordStream<'_>
+                })
+                .collect();
+            return Ok(self.drive(&names, streams));
+        }
+        // The first `producers` cores get a dedicated background producer
+        // feeding a bounded batch queue; any remaining cores produce inline.
+        // Producers are independent per core, so the consumer blocking on one
+        // core's queue can never deadlock another core's producer.
+        let report = thread::scope(|scope| {
+            let streams: Vec<RecordStream<'_>> = (0..self.cores.len())
+                .map(|i| {
+                    let batches = sources[i % sources.len()].record_batches(batch);
+                    if i < producers {
+                        let (tx, rx) = mpsc::sync_channel(PRODUCER_QUEUE_BATCHES);
+                        scope.spawn(move || {
+                            for b in batches {
+                                // The drive loop always drains every stream,
+                                // so a send only fails if it panicked.
+                                if tx.send(b).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                        Box::new(rx.into_iter().flatten()) as RecordStream<'_>
+                    } else {
+                        Box::new(batches.flatten()) as RecordStream<'_>
+                    }
+                })
+                .collect();
+            self.drive(&names, streams)
+        });
+        Ok(report)
     }
 
     /// Advances the core with the smallest local time that still has trace
@@ -96,6 +225,18 @@ impl System {
     /// approximate timestamp order. Only one record per core is ever held in
     /// memory — the whole point of the streaming data path.
     fn drive(&mut self, names: &[&str], mut streams: Vec<RecordStream<'_>>) -> SystemReport {
+        // Single-core fast path: with one stream the min-time merge always
+        // selects core 0, so step straight through the records and skip the
+        // per-record scan and pending-slot juggling entirely. Byte-identical
+        // to the general loop below by construction.
+        if self.cores.len() == 1 {
+            let stream = streams.pop().expect("one stream per core");
+            let core = &mut self.cores[0];
+            for record in stream {
+                core.step(&record, &mut self.hierarchy);
+            }
+            return self.assemble_report(names);
+        }
         let mut pending: Vec<Option<MemoryRecord>> =
             streams.iter_mut().map(Iterator::next).collect();
         loop {
@@ -115,7 +256,10 @@ impl System {
             pending[i] = streams[i].next();
             self.cores[i].step(&record, &mut self.hierarchy);
         }
+        self.assemble_report(names)
+    }
 
+    fn assemble_report(&self, names: &[&str]) -> SystemReport {
         SystemReport {
             selector: self.cores.first().map_or_else(
                 || "NoPrefetch".to_string(),
@@ -296,20 +440,61 @@ mod tests {
                 CompositeKind::GsCsPmp,
             );
             let a = eager.run(&workloads);
-            let b = lazy.run_sources(&sources);
+            let b = lazy.run_sources(&sources).expect("non-empty sources");
             assert_eq!(a, b, "streamed vs collected reports diverged at {cores} cores");
         }
     }
 
     #[test]
-    #[should_panic(expected = "at least one workload")]
-    fn empty_sources_panics() {
+    fn batched_and_threaded_runs_match_the_default_drive() {
+        // Every batch size × producer count must reproduce the default run
+        // byte for byte: the knobs move records in bigger units or on other
+        // threads, they never reorder the deterministic merge.
+        let mk_source =
+            |n: u64, name: &'static str| {
+                TraceSource::new(name, true, n as usize, move || {
+                    Box::new((0..n).map(|i| {
+                        MemoryRecord::load(Pc::new(0x400), Addr::new(0x40_0000 + i * 64), 6)
+                    }))
+                })
+            };
+        for cores in [1usize, 4] {
+            let sources = [mk_source(900, "s"), mk_source(500, "t")];
+            let run_with = |options: DriveOptions| {
+                let mut system = System::new(
+                    SystemConfig::skylake_like(cores),
+                    SelectionAlgorithm::Alecto,
+                    CompositeKind::GsCsPmp,
+                );
+                system.run_sources_with(&sources, options).expect("non-empty sources")
+            };
+            let reference = run_with(DriveOptions::default());
+            for batch_records in [1usize, 7, 4096] {
+                for producer_threads in [0usize, 1, 8] {
+                    let report = run_with(DriveOptions { batch_records, producer_threads });
+                    assert_eq!(
+                        report, reference,
+                        "batch {batch_records} × producers {producer_threads} diverged \
+                         at {cores} cores"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sources_is_a_validation_error() {
         let mut system = System::new(
             SystemConfig::skylake_like(1),
             SelectionAlgorithm::Alecto,
             CompositeKind::GsCsPmp,
         );
-        let _ = system.run_sources(&[]);
+        let err = system.run_sources(&[]).unwrap_err();
+        assert_eq!(err, RunError::NoSources);
+        assert!(
+            err.to_string().contains("at least one workload"),
+            "error message should explain the validation failure"
+        );
     }
 
     #[test]

@@ -4,14 +4,15 @@
 //!
 //! ```text
 //! alecto-harness <experiment> [--accesses N] [--multicore-accesses N]
-//!                [--quick] [--jobs N] [--json PATH]
+//!                [--quick] [--jobs N] [--batch N] [--json PATH]
 //! alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]
 //! alecto-harness list
 //! alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]
 //!                      [--cache-capacity N] [--cache-dir PATH]
 //! alecto-harness trace record <benchmark> [--accesses N] --out PATH
 //! alecto-harness trace info <file.altr>
-//! alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N] [--json PATH]
+//! alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N] [--batch N]
+//!                             [--json PATH]
 //! alecto-harness trace import <records.txt> --out PATH [--name NAME] [--memory-intensive]
 //!
 //! experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12
@@ -60,6 +61,11 @@
 //! `--jobs N` picks the worker-thread count of the parallel experiment
 //! engine (default: one per available hardware thread). It changes
 //! wall-clock only — results are byte-identical for every worker count.
+//! Threads the budget grants beyond one per grid cell are lent to the cells
+//! as in-cell record producers (and, for `trace replay`, block-parallel
+//! `.altr` decode workers) — equally invisible in the results. `--batch N`
+//! sets the records-per-batch granularity of that producer/consumer
+//! pipeline; it too never changes a byte of output.
 //! `--json PATH` additionally writes the machine-readable
 //! `alecto-bench-v2` report to `PATH`. Both report (`--json`) and trace
 //! (`--out`) destinations are checked for writability up front, so a bad
@@ -73,7 +79,7 @@ use harness::RunScale;
 fn usage() -> ! {
     eprintln!(
         "usage: alecto-harness <experiment> [--accesses N] [--multicore-accesses N] [--quick]\n\
-         \x20                  [--jobs N] [--json PATH]\n\
+         \x20                  [--jobs N] [--batch N] [--json PATH]\n\
          \x20      alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]\n\
          \x20      alecto-harness list\n\
          \x20      alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]\n\
@@ -81,7 +87,7 @@ fn usage() -> ! {
          \x20      alecto-harness trace record <benchmark> [--accesses N] --out PATH\n\
          \x20      alecto-harness trace info <file.altr>\n\
          \x20      alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N]\n\
-         \x20                                  [--json PATH]\n\
+         \x20                                  [--batch N] [--json PATH]\n\
          \x20      alecto-harness trace import <records.txt> --out PATH [--name NAME]\n\
          \x20                                  [--memory-intensive]\n\
          experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12\n\
@@ -93,6 +99,9 @@ fn usage() -> ! {
          \x20 --multicore-accesses N  per-core accesses for multi-core runs\n\
          \x20 --quick                 use the reduced CI scale (same as the `quick` experiment)\n\
          \x20 --jobs N                worker threads (N >= 1; default: available parallelism);\n\
+         \x20                         never changes results, only wall-clock; threads beyond\n\
+         \x20                         one per cell become in-cell record producers\n\
+         \x20 --batch N               records per producer batch (N >= 1; default 4096);\n\
          \x20                         never changes results, only wall-clock\n\
          \x20 --json PATH             also write the alecto-bench-v2 JSON report to PATH\n\
          \x20                         (the path must be creatable — checked up front)\n\
@@ -226,6 +235,17 @@ fn write_trace_atomically(
 /// traces are fully validated (checksum included) before anything runs, so
 /// a corrupt file exits 2 here instead of panicking inside a worker thread.
 fn resolve_spec(spec: &str, accesses: Option<usize>) -> (TraceSource, u64) {
+    resolve_spec_with_decode(spec, accesses, 0)
+}
+
+/// [`resolve_spec`] with block-parallel `.altr` decoding on `decode_workers`
+/// background threads per replay (0 = serial). The decoded stream — and the
+/// source fingerprint — is identical either way; only wall-clock changes.
+fn resolve_spec_with_decode(
+    spec: &str,
+    accesses: Option<usize>,
+    decode_workers: usize,
+) -> (TraceSource, u64) {
     if let Some(path) = traceio::file_spec_path(spec) {
         let reader = traceio::TraceReader::open(path).unwrap_or_else(|err| {
             eprintln!("error: {err}");
@@ -236,7 +256,7 @@ fn resolve_spec(spec: &str, accesses: Option<usize>) -> (TraceSource, u64) {
             usage();
         }
         let seed = reader.header().seed;
-        return (reader.source(accesses), seed);
+        return (reader.source_parallel(accesses, decode_workers), seed);
     }
     let Some(suite) = traces::Suite::of(spec) else {
         eprintln!("error: unknown benchmark {spec:?} (try `alecto-harness list`)");
@@ -302,6 +322,7 @@ fn run_trace(args: &[String]) -> ! {
 
     let mut accesses: Option<usize> = None;
     let mut jobs: Option<usize> = None;
+    let mut batch: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut name: Option<String> = None;
@@ -323,6 +344,13 @@ fn run_trace(args: &[String]) -> ! {
                     usage();
                 }
                 jobs = Some(n);
+            }
+            "--batch" => {
+                let n: usize = parse_flag_value(rest, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                batch = Some(n);
             }
             "--out" => out = Some(parse_path_value(rest, &mut i)),
             "--json" => json_path = Some(parse_path_value(rest, &mut i)),
@@ -361,12 +389,22 @@ fn run_trace(args: &[String]) -> ! {
             if let Some(path) = &json_path {
                 check_writable(path, "--json");
             }
-            let (source, _) = resolve_spec(spec, accesses);
             let mut scale = RunScale::default();
             if let Some(n) = jobs {
                 scale.jobs = n;
             }
-            let experiment = figures::replay(std::slice::from_ref(&source), &scale);
+            // Thread budget beyond the cell workers goes to block-parallel
+            // `.altr` decoding inside each replay. Like --jobs and --batch,
+            // this changes wall-clock only: the report is byte-identical.
+            let decode_workers = harness::effective_jobs(scale.jobs).saturating_sub(1).min(4);
+            let (source, _) = resolve_spec_with_decode(spec, accesses, decode_workers);
+            let options = harness::DriveOptions {
+                batch_records: batch.unwrap_or(cpu::DEFAULT_BATCH_RECORDS),
+                ..harness::DriveOptions::new()
+            };
+            let experiment = harness::with_drive_options(options, || {
+                figures::replay(std::slice::from_ref(&source), &scale)
+            });
             println!("{}", experiment.render());
             if let Some(path) = json_path {
                 if let Err(err) = std::fs::write(&path, experiments_to_json(&[experiment])) {
@@ -486,6 +524,7 @@ fn main() {
     let mut accesses_override: Option<usize> = None;
     let mut multicore_override: Option<usize> = None;
     let mut jobs: Option<usize> = None;
+    let mut batch: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut experiment = None;
     let mut i = 0;
@@ -508,6 +547,13 @@ fn main() {
                     usage();
                 }
                 jobs = Some(n);
+            }
+            "--batch" => {
+                let n: usize = parse_flag_value(&args, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                batch = Some(n);
             }
             "--json" => json_path = Some(parse_path_value(&args, &mut i)),
             name if experiment.is_none() && !name.starts_with('-') => {
@@ -535,7 +581,11 @@ fn main() {
     }
 
     let Some(build) = figures::builder(&experiment) else { usage() };
-    let experiments = build(&scale);
+    let options = harness::DriveOptions {
+        batch_records: batch.unwrap_or(cpu::DEFAULT_BATCH_RECORDS),
+        ..harness::DriveOptions::new()
+    };
+    let experiments = harness::with_drive_options(options, || build(&scale));
     for e in &experiments {
         println!("{}", e.render());
     }

@@ -759,4 +759,38 @@ mod tests {
         assert_eq!(cells_json.len(), 2);
         assert!(cells_json[0].get("speedup").and_then(JsonValue::as_f64).unwrap() > 0.0);
     }
+
+    #[test]
+    fn emitted_ipc_agrees_with_emitted_cycle_counts() {
+        // Regression for an off-by-one in the core report: `cycles` was
+        // rounded up while `ipc` divided by the *unrounded* retirement time,
+        // so the emitted JSON was internally inconsistent. For a single-core
+        // cell the geomean IPC is that core's IPC, so the emitted fields
+        // must satisfy ipc == instructions / cycles exactly as reported.
+        use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
+        let grid = crate::runner::run_single_core_suite(
+            &[traces::spec06::source("mcf", 600)],
+            &[SelectionAlgorithm::Alecto],
+            CompositeKind::GsCsPmp,
+            &SystemConfig::skylake_like(1),
+            1,
+        );
+        let e = Experiment::new("x", "y", Table::new(vec!["a"])).with_grid(&grid);
+        let doc = experiments_to_json(&[e]);
+        let parsed = json::parse(&doc).unwrap();
+        let cell = parsed.get("experiments").and_then(JsonValue::as_array).unwrap()[0]
+            .get("cells")
+            .and_then(JsonValue::as_array)
+            .unwrap()[0]
+            .clone();
+        let ipc = cell.get("ipc").and_then(JsonValue::as_f64).unwrap();
+        let instructions = cell.get("instructions").and_then(JsonValue::as_f64).unwrap();
+        let cycles = cell.get("cycles").and_then(JsonValue::as_f64).unwrap();
+        assert!(cycles >= 1.0);
+        let derived = instructions / cycles;
+        assert!(
+            (ipc - derived).abs() < 1e-9,
+            "emitted ipc {ipc} disagrees with instructions/cycles {derived}"
+        );
+    }
 }

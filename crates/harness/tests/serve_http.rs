@@ -188,6 +188,14 @@ fn protocol_errors_use_the_error_envelope() {
     assert_eq!(status, 400);
     expect_code(status, &body, "missing_traces");
 
+    // An explicitly empty benchmark list is the same validation error — it
+    // must come back as a 400 envelope, never reach `System::run_sources`
+    // (whose empty-source case is a `RunError`, not a panic) and never kill
+    // a sweep worker thread.
+    let (status, body) = http(&addr, "POST", "/v1/sweep", r#"{"experiment":"replay","traces":[]}"#);
+    assert_eq!(status, 400);
+    expect_code(status, &body, "missing_traces");
+
     let (status, body) =
         http(&addr, "POST", "/v1/sweep", r#"{"experiment":"fig8","traces":["lbm"]}"#);
     assert_eq!(status, 400);

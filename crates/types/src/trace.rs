@@ -203,6 +203,20 @@ impl TraceSource {
         Box::new((self.factory)().take(self.accesses))
     }
 
+    /// Starts a fresh replay yielding the records in batches of at most
+    /// `batch` records (minimum 1) — the unit the batched drive pipeline
+    /// moves between producer threads and the simulation loop.
+    ///
+    /// Batching changes how many records move per call, never which records
+    /// or in what order: concatenating the yielded batches reproduces
+    /// [`TraceSource::records`] exactly, for any batch size. The batch size
+    /// is an execution knob, not identity — it is deliberately **not**
+    /// folded into the fingerprint.
+    #[must_use]
+    pub fn record_batches(&self, batch: usize) -> RecordBatches {
+        RecordBatches { inner: self.records(), batch: batch.max(1) }
+    }
+
     /// Materialises the trace into a [`Workload`] (O(accesses) memory — the
     /// legacy representation, still used by record-introspecting tests and
     /// figures).
@@ -278,6 +292,40 @@ impl TraceSource {
             }),
             ..self
         }
+    }
+}
+
+/// Iterator of record batches minted by [`TraceSource::record_batches`].
+/// Every batch but the last holds exactly the requested batch size; the last
+/// holds the remainder. `Send`, like the per-record iterator, so a batch
+/// stream can be driven from a background producer thread.
+pub struct RecordBatches {
+    inner: BoxedRecordIter,
+    batch: usize,
+}
+
+impl Iterator for RecordBatches {
+    type Item = Vec<MemoryRecord>;
+
+    fn next(&mut self) -> Option<Vec<MemoryRecord>> {
+        let mut out = Vec::with_capacity(self.batch);
+        for record in self.inner.by_ref() {
+            out.push(record);
+            if out.len() == self.batch {
+                break;
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+impl fmt::Debug for RecordBatches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecordBatches").field("batch", &self.batch).finish_non_exhaustive()
     }
 }
 
@@ -363,6 +411,27 @@ mod tests {
     fn sources_are_send_and_sync() {
         const fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TraceSource>();
+        const fn assert_send<T: Send>() {}
+        assert_send::<RecordBatches>();
+    }
+
+    #[test]
+    fn batches_concatenate_to_the_per_record_stream() {
+        let s = counting_source(10);
+        let flat: Vec<MemoryRecord> = s.records().collect();
+        for batch in [1usize, 3, 7, 10, 4096] {
+            let batches: Vec<Vec<MemoryRecord>> = s.record_batches(batch).collect();
+            assert!(
+                batches.iter().rev().skip(1).all(|b| b.len() == batch),
+                "every batch but the last must be full at size {batch}"
+            );
+            let joined: Vec<MemoryRecord> = batches.into_iter().flatten().collect();
+            assert_eq!(joined, flat, "batch size {batch} must not change the stream");
+        }
+        // A zero batch size is clamped to one rather than looping forever.
+        assert_eq!(s.record_batches(0).next().map(|b| b.len()), Some(1));
+        // Empty sources yield no batches at all.
+        assert!(counting_source(0).record_batches(8).next().is_none());
     }
 
     #[test]

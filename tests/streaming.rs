@@ -54,6 +54,32 @@ proptest! {
         prop_assert_eq!(a, eager.records);
     }
 
+    // Record batches are a pure re-chunking of the per-record stream: for
+    // any registered benchmark × seed-independent access budget × batch
+    // size — degenerate 1, awkward prime 7, the block-sized default —
+    // concatenating the batches reproduces the per-record stream exactly,
+    // and every batch except the last is full.
+    #[test]
+    fn batched_streams_equal_per_record_streams_for_every_registered_benchmark(
+        bench_idx in 0usize..70,
+        accesses in 0usize..600,
+        batch in prop_oneof![Just(1usize), Just(7), Just(4096)],
+    ) {
+        let reg = registry();
+        let (suite, name) = reg[bench_idx % reg.len()];
+        let source = suite.source(name, accesses);
+        let per_record: Vec<_> = source.records().collect();
+        let batches: Vec<Vec<_>> = source.record_batches(batch).collect();
+        for (i, b) in batches.iter().enumerate() {
+            prop_assert!(!b.is_empty(), "batch {i} of {name} is empty");
+            if i + 1 < batches.len() {
+                prop_assert!(b.len() == batch, "non-final batch {} of {} short", i, name);
+            }
+        }
+        let flattened: Vec<_> = batches.into_iter().flatten().collect();
+        prop_assert_eq!(flattened, per_record);
+    }
+
     // Address-offset derivation (the multi-core slicing) commutes with
     // collection.
     #[test]

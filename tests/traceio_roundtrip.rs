@@ -132,7 +132,7 @@ fn file_scheme_sources_drop_into_multicore_runs() {
         SelectionAlgorithm::Alecto,
         CompositeKind::GsCsPmp,
     );
-    let report = system.run_sources(&per_core);
+    let report = system.run_sources(&per_core).expect("non-empty sources");
     assert_eq!(report.cores.len(), 2);
     assert!(report.cores.iter().all(|c| c.ipc > 0.0));
 
@@ -144,7 +144,31 @@ fn file_scheme_sources_drop_into_multicore_runs() {
         SelectionAlgorithm::Alecto,
         CompositeKind::GsCsPmp,
     );
-    assert_eq!(system.run_sources(&gen_per_core), report);
+    assert_eq!(system.run_sources(&gen_per_core).expect("non-empty sources"), report);
+}
+
+#[test]
+fn parallel_decode_sources_are_indistinguishable_from_serial_ones() {
+    // `source_parallel` decodes block frames on background workers but must
+    // yield the identical record stream — capped or not — and the identical
+    // content fingerprint, so the cell cache treats both decoders as the
+    // same trace.
+    let generated = traces::spec06::source("mcf", 700);
+    let (scratch, serial) = record(&generated, "par");
+    let reader = traceio::TraceReader::open(&scratch.0).expect("open recorded trace");
+    for cap in [None, Some(123usize), Some(700)] {
+        let serial_src = reader.source(cap);
+        for workers in [0usize, 1, 4] {
+            let parallel_src = reader.source_parallel(cap, workers);
+            assert_eq!(parallel_src.fingerprint(), serial_src.fingerprint());
+            assert_eq!(
+                parallel_src.collect(),
+                serial_src.collect(),
+                "cap {cap:?} × workers {workers}"
+            );
+        }
+    }
+    assert_eq!(serial.collect(), generated.collect());
 }
 
 #[test]
