@@ -3,6 +3,45 @@
 
 use memsys::{DramKind, HierarchyParams};
 
+/// Which timing model simulates each core.
+///
+/// The two models share the prefetch/selection stack and the memory
+/// hierarchy; they differ only in how core cycles are accounted. `Approx` is
+/// the fast analytic frontier model and stays the default for sweeps;
+/// `OutOfOrder` is the staged integer-cycle pipeline (ROB/LSQ/gshare) behind
+/// the `CoreTiming` trait. Selected per run via [`SystemConfig::core_model`]
+/// and the harness `--core-model {approx|ooo}` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoreModelKind {
+    /// Analytic fetch/retire frontier model (`CoreModel`), f64 time.
+    #[default]
+    Approx,
+    /// Staged out-of-order pipeline (`OooCore`), integer cycles.
+    OutOfOrder,
+}
+
+impl CoreModelKind {
+    /// Stable lower-case label used by the CLI flag, the sweep-server JSON
+    /// field and report annotations.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::Approx => "approx",
+            Self::OutOfOrder => "ooo",
+        }
+    }
+
+    /// Parses a CLI/server label (`"approx"` or `"ooo"`).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "approx" => Some(Self::Approx),
+            "ooo" => Some(Self::OutOfOrder),
+            _ => None,
+        }
+    }
+}
+
 /// Full system configuration: core microarchitecture plus memory hierarchy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -22,6 +61,9 @@ pub struct SystemConfig {
     pub hierarchy: HierarchyParams,
     /// Instructions between selector reward epochs (the Bandit reward period).
     pub selector_epoch_instructions: u64,
+    /// Which core timing model to simulate (Approx analytic vs OutOfOrder
+    /// staged pipeline).
+    pub core_model: CoreModelKind,
 }
 
 impl SystemConfig {
@@ -41,7 +83,17 @@ impl SystemConfig {
             store_queue: 56,
             hierarchy: HierarchyParams::skylake_like(cores),
             selector_epoch_instructions: 20_000,
+            core_model: CoreModelKind::Approx,
         }
+    }
+
+    /// Same configuration with the core timing model replaced (builder-style,
+    /// so experiment code can write
+    /// `SystemConfig::skylake_like(n).with_core_model(kind)`).
+    #[must_use]
+    pub fn with_core_model(mut self, kind: CoreModelKind) -> Self {
+        self.core_model = kind;
+        self
     }
 
     /// Table I configuration with an explicit LLC capacity per core (Fig. 15).
@@ -86,6 +138,17 @@ impl SystemConfig {
                     self.load_queue,
                     self.store_queue
                 ),
+            ),
+            (
+                "Core model".to_string(),
+                match self.core_model {
+                    CoreModelKind::Approx => {
+                        "approx: analytic fetch/retire frontiers (sweep default)".to_string()
+                    }
+                    CoreModelKind::OutOfOrder => {
+                        "ooo: staged ROB/LSQ/gshare pipeline, integer cycles".to_string()
+                    }
+                },
             ),
             (
                 "Private L1 D-cache".to_string(),
@@ -166,8 +229,23 @@ mod tests {
         let rows = SystemConfig::skylake_like(8).describe();
         let labels: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
         assert!(labels.contains(&"Core"));
+        assert!(labels.contains(&"Core model"));
         assert!(labels.contains(&"Shared L3 cache"));
         assert!(labels.contains(&"Main memory"));
         assert!(rows.iter().all(|(_, v)| !v.is_empty()));
+    }
+
+    #[test]
+    fn core_model_labels_round_trip() {
+        assert_eq!(CoreModelKind::default(), CoreModelKind::Approx);
+        for kind in [CoreModelKind::Approx, CoreModelKind::OutOfOrder] {
+            assert_eq!(CoreModelKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(CoreModelKind::from_label("o3"), None);
+        // `describe()` surfaces the selected model so `table1` documents it.
+        let rows =
+            SystemConfig::skylake_like(1).with_core_model(CoreModelKind::OutOfOrder).describe();
+        let row = rows.iter().find(|(k, _)| k == "Core model").expect("row");
+        assert!(row.1.starts_with("ooo"));
     }
 }

@@ -125,19 +125,20 @@ impl PrefetchController {
             self.scratch.clear();
             self.prefetchers[idx].train_and_predict(access, alloc.total, &mut self.scratch);
             for (j, &line) in self.scratch.iter().enumerate() {
-                let fill =
-                    if (j as u32) < alloc.l1_portion { FillLevel::L1 } else { FillLevel::L2 };
+                let to_l1 = u32::try_from(j).is_ok_and(|j| j < alloc.l1_portion);
+                let fill = if to_l1 { FillLevel::L1 } else { FillLevel::L2 };
                 candidates.push(
                     PrefetchRequest::new(line, access.pc, PrefetcherId(idx)).with_fill_level(fill),
                 );
             }
         }
-        self.stats.candidates += candidates.len() as u64;
-        let candidate_count = candidates.len() as u64;
+        let candidate_count = u64::try_from(candidates.len()).expect("count fits in u64");
+        self.stats.candidates += candidate_count;
 
         // 3. Selection-specific post-processing (priority mux, PPF, Sandbox).
         let selected = selector.select_requests(access, candidates);
-        self.stats.dropped_by_selector += candidate_count - selected.len() as u64;
+        self.stats.dropped_by_selector +=
+            candidate_count - u64::try_from(selected.len()).expect("count fits in u64");
 
         // 4. External duplicate filter for selectors that do not bring their own.
         let final_requests: Vec<PrefetchRequest> = if selector.needs_external_filter() {
@@ -154,7 +155,7 @@ impl PrefetchController {
         } else {
             selected
         };
-        self.stats.issued += final_requests.len() as u64;
+        self.stats.issued += u64::try_from(final_requests.len()).expect("count fits in u64");
         final_requests
     }
 
@@ -238,7 +239,7 @@ mod tests {
                     c.on_demand_access(&stream_access(round * 50 + i));
                     c.on_demand_access(&DemandAccess::load(
                         Pc::new(0x900),
-                        Addr::new(0x80_0000 + chase[i as usize] * 64),
+                        Addr::new(0x80_0000 + chase[usize::try_from(i).unwrap()] * 64),
                     ));
                 }
             }

@@ -19,6 +19,55 @@ use crate::config::SystemConfig;
 use crate::controller::PrefetchController;
 use crate::metrics::CoreReport;
 
+/// Maximum distinct PCs tracked for pointer-chase serialisation.
+///
+/// Multi-gigabyte `.altr` replays can carry millions of distinct dependent
+/// PCs; an unbounded map would grow with the trace. 4096 entries comfortably
+/// cover every synthetic family and the hot chains of real traces while
+/// keeping memory O(1) in trace length.
+pub(crate) const CHAIN_TABLE_CAPACITY: usize = 4096;
+
+/// Fixed-capacity PC → completion map with deterministic FIFO eviction.
+///
+/// Backed by a `HashMap` for O(1) lookup plus an insertion-order queue for
+/// eviction. The map is never iterated, so hash order cannot leak into
+/// simulation results; the eviction victim is always the *oldest first
+/// inserted* key, which is a pure function of the record stream.
+#[derive(Debug)]
+pub(crate) struct ChainTable<V> {
+    map: HashMap<u64, V>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl<V: Copy> ChainTable<V> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "chain table needs at least one entry");
+        Self { map: HashMap::new(), order: VecDeque::new(), capacity }
+    }
+
+    pub(crate) fn get(&self, key: u64) -> Option<V> {
+        self.map.get(&key).copied()
+    }
+
+    /// Inserts or updates `key`. A brand-new key beyond capacity first evicts
+    /// the oldest inserted key; updating an existing key never evicts.
+    pub(crate) fn insert(&mut self, key: u64, value: V) {
+        if self.map.insert(key, value).is_none() {
+            if self.map.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+            self.order.push_back(key);
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Timing and bookkeeping state of one simulated core.
 #[derive(Debug)]
 pub struct CoreModel {
@@ -40,8 +89,9 @@ pub struct CoreModel {
     /// Completion times of in-flight loads (bounds MLP by the LQ size).
     inflight_loads: VecDeque<f64>,
     /// Completion time of the most recent *dependent* load of each PC, used to
-    /// serialise pointer-chase chains.
-    chain_completion: HashMap<u64, f64>,
+    /// serialise pointer-chase chains. Bounded at [`CHAIN_TABLE_CAPACITY`]
+    /// with deterministic FIFO eviction so long replays stay O(1) in memory.
+    chain_completion: ChainTable<f64>,
     /// The prefetch controller attached to this core's L1D.
     controller: PrefetchController,
     epoch_len: u64,
@@ -57,14 +107,14 @@ impl CoreModel {
             core_id,
             fetch_width: f64::from(config.fetch_width),
             commit_width: f64::from(config.commit_width),
-            rob_entries: config.rob_entries as u64,
+            rob_entries: u64::try_from(config.rob_entries).expect("ROB size fits in u64"),
             load_queue: config.load_queue,
             fetch_time: 0.0,
             retire_time: 0.0,
             instructions: 0,
             rob_window: VecDeque::with_capacity(64),
             inflight_loads: VecDeque::with_capacity(80),
-            chain_completion: HashMap::new(),
+            chain_completion: ChainTable::new(CHAIN_TABLE_CAPACITY),
             controller,
             epoch_len: config.selector_epoch_instructions,
             epoch_instr_mark: 0,
@@ -143,7 +193,7 @@ impl CoreModel {
         // --- Serial dependence (pointer chasing) --------------------------------
         let mut issue_time = self.fetch_time;
         if record.dependent {
-            if let Some(&ready) = self.chain_completion.get(&record.pc.raw()) {
+            if let Some(ready) = self.chain_completion.get(record.pc.raw()) {
                 issue_time = issue_time.max(ready);
             }
         }
@@ -162,7 +212,8 @@ impl CoreModel {
         let requests = self.controller.on_demand_access(&demand);
         for (k, req) in requests.iter().enumerate() {
             // Prefetches trickle out of the prefetch queue one per cycle.
-            hierarchy.issue_prefetch(self.core_id, req, issue_cycle + 1 + k as u64);
+            let delay = u64::try_from(k).expect("prefetch queue index fits in u64");
+            hierarchy.issue_prefetch(self.core_id, req, issue_cycle + 1 + delay);
         }
         for fb in hierarchy.drain_feedback() {
             self.controller.on_prefetch_outcome(&PrefetchOutcome {
@@ -220,7 +271,18 @@ impl CoreModel {
             training_occurrences: self.controller.training_occurrences(),
             table_misses: self.controller.table_misses(),
             prefetches_issued: self.controller.stats().issued,
+            // The analytic model carries no branch predictor and no explicit
+            // ROB occupancy; the fields stay null in the v2 report.
+            branch_mpki: None,
+            rob_occupancy: None,
         }
+    }
+
+    /// Number of PCs currently tracked for chain serialisation (bounded at
+    /// `CHAIN_TABLE_CAPACITY`; exposed for the regression tests).
+    #[must_use]
+    pub fn chain_table_len(&self) -> usize {
+        self.chain_completion.len()
     }
 }
 
@@ -407,6 +469,44 @@ mod tests {
                 config.load_queue
             );
         }
+    }
+
+    #[test]
+    fn chain_table_len_stays_bounded_on_a_million_distinct_pcs() {
+        // RSS proxy for the unbounded-growth regression: a synthetic stream
+        // of 1M distinct dependent PCs must leave the map at its fixed
+        // capacity, not at 1M entries.
+        let mut table = ChainTable::new(CHAIN_TABLE_CAPACITY);
+        for pc in 0..1_000_000u64 {
+            table.insert(pc, pc as f64);
+            assert!(table.len() <= CHAIN_TABLE_CAPACITY);
+        }
+        assert_eq!(table.len(), CHAIN_TABLE_CAPACITY);
+        // FIFO eviction: the oldest keys are gone, the newest survive.
+        assert!(table.get(0).is_none());
+        assert!(table.get(999_999).is_some());
+        // Updating an existing key neither grows the map nor evicts.
+        table.insert(999_999, 1.0);
+        assert_eq!(table.len(), CHAIN_TABLE_CAPACITY);
+        assert_eq!(table.get(999_999), Some(1.0));
+    }
+
+    #[test]
+    fn dependent_stream_with_many_pcs_keeps_the_core_chain_bounded() {
+        // End-to-end flavour of the same regression: distinct dependent PCs
+        // flowing through `step` must not grow core state without bound.
+        let config = SystemConfig::skylake_like(1);
+        let controller =
+            PrefetchController::new(CompositeKind::GsCsPmp, SelectionAlgorithm::NoPrefetching);
+        let mut core = CoreModel::new(0, &config, controller);
+        let mut hier = Hierarchy::new(HierarchyParams::skylake_like(1));
+        let distinct = u64::try_from(CHAIN_TABLE_CAPACITY).unwrap() * 3;
+        for i in 0..distinct {
+            let r = MemoryRecord::dependent_load(Pc::new(i * 4), Addr::new(0x10_0000 + i * 64), 2);
+            core.step(&r, &mut hier);
+        }
+        assert_eq!(core.chain_table_len(), CHAIN_TABLE_CAPACITY);
+        assert!(core.instructions() == distinct * 3);
     }
 
     #[test]

@@ -29,17 +29,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod branch;
 pub mod config;
 pub mod controller;
 pub mod core_model;
+pub mod core_timing;
+pub mod lsq;
 pub mod metrics;
+pub mod ooo;
+pub mod rob;
 pub mod selection;
 pub mod system;
 
-pub use config::SystemConfig;
+pub use config::{CoreModelKind, SystemConfig};
 pub use controller::PrefetchController;
 pub use core_model::CoreModel;
+pub use core_timing::{CoreEngine, CoreTiming};
 pub use metrics::{CoreReport, PrefetcherReport, SystemReport};
+pub use ooo::OooCore;
 pub use prefetch::CompositeKind;
 pub use selection::{build_selector, SelectionAlgorithm};
 pub use system::{run_single_core, DriveOptions, RunError, System, DEFAULT_BATCH_RECORDS};

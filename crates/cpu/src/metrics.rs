@@ -42,6 +42,13 @@ pub struct CoreReport {
     pub table_misses: u64,
     /// Prefetch requests issued to the memory system.
     pub prefetches_issued: u64,
+    /// Branch mispredicts per kilo-instruction. `None` for core models
+    /// without a branch predictor (the Approx preset) — emitted as `null` in
+    /// alecto-bench-v2 so old reports and the `compare` gate keep parsing.
+    pub branch_mpki: Option<f64>,
+    /// Mean reorder-buffer occupancy in entries, sampled once per record.
+    /// `None` for core models without an explicit ROB (the Approx preset).
+    pub rob_occupancy: Option<f64>,
 }
 
 impl CoreReport {
@@ -140,6 +147,22 @@ impl SystemReport {
         self.cores.iter().map(|c| c.table_misses).sum()
     }
 
+    /// Instruction-count-weighted mean of the per-core branch MPKI, `None`
+    /// when no core carries the metric (every Approx-preset run).
+    #[must_use]
+    pub fn avg_branch_mpki(&self) -> Option<f64> {
+        weighted_mean(self.cores.iter().filter_map(|c| c.branch_mpki.map(|v| (v, c.instructions))))
+    }
+
+    /// Instruction-count-weighted mean of the per-core ROB occupancy, `None`
+    /// when no core carries the metric (every Approx-preset run).
+    #[must_use]
+    pub fn avg_rob_occupancy(&self) -> Option<f64> {
+        weighted_mean(
+            self.cores.iter().filter_map(|c| c.rob_occupancy.map(|v| (v, c.instructions))),
+        )
+    }
+
     /// Per-prefetcher training occurrences summed over cores, keyed by name
     /// (Fig. 18's x-axis).
     #[must_use]
@@ -154,6 +177,21 @@ impl SystemReport {
             }
         }
         out
+    }
+}
+
+/// Weighted arithmetic mean over `(value, weight)` pairs; `None` when no pair
+/// contributes (or every weight is zero).
+fn weighted_mean(pairs: impl Iterator<Item = (f64, u64)>) -> Option<f64> {
+    let (mut sum, mut weight) = (0.0f64, 0u64);
+    for (v, w) in pairs {
+        sum += v * w as f64;
+        weight += w;
+    }
+    if weight == 0 {
+        None
+    } else {
+        Some(sum / weight as f64)
     }
 }
 
@@ -189,6 +227,8 @@ mod tests {
             training_occurrences: trainings,
             table_misses: 7,
             prefetches_issued: 17,
+            branch_mpki: None,
+            rob_occupancy: None,
         }
     }
 
@@ -245,5 +285,29 @@ mod tests {
         assert_eq!(q.covered_timely, 20);
         let by_pf = report.trainings_by_prefetcher();
         assert_eq!(by_pf, vec![("GS".to_string(), 40)]);
+    }
+
+    #[test]
+    fn pipeline_metrics_aggregate_only_when_present() {
+        let mut report = SystemReport {
+            selector: "Alecto".into(),
+            composite: "GS+CS+PMP".into(),
+            cores: vec![dummy_core(1.0, 0), dummy_core(2.0, 0)],
+            l3: CacheStats::default(),
+            dram: DramStats::default(),
+            selector_storage_bits: 0,
+        };
+        // Approx-style reports: every core null, so the aggregate is null.
+        assert_eq!(report.avg_branch_mpki(), None);
+        assert_eq!(report.avg_rob_occupancy(), None);
+        // Weighted by instructions: 2.0 over 1000 instr + 4.0 over 3000.
+        report.cores[0].branch_mpki = Some(2.0);
+        report.cores[1].branch_mpki = Some(4.0);
+        report.cores[1].instructions = 3000;
+        let mpki = report.avg_branch_mpki().expect("present");
+        assert!((mpki - 3.5).abs() < 1e-9, "weighted mean, got {mpki}");
+        // A lone core carrying the metric dominates the aggregate.
+        report.cores[0].rob_occupancy = Some(128.0);
+        assert_eq!(report.avg_rob_occupancy(), Some(128.0));
     }
 }

@@ -1,7 +1,9 @@
-//! The multi-core system driver: one [`CoreModel`] per core, a shared
-//! [`memsys::Hierarchy`], and a round-robin-by-time scheduler that keeps the
-//! cores in rough lockstep so that shared-resource contention (L3, DRAM
-//! channels) is modelled faithfully.
+//! The multi-core system driver: one [`CoreEngine`] per core (the timing
+//! model [`SystemConfig::core_model`] selects, driven through the
+//! [`CoreTiming`] trait), a shared [`memsys::Hierarchy`], and a
+//! round-robin-by-time scheduler that keeps the cores in rough lockstep so
+//! that shared-resource contention (L3, DRAM channels) is modelled
+//! faithfully.
 //!
 //! # The batched producer/consumer pipeline
 //!
@@ -11,7 +13,7 @@
 //! consumes them in. [`DriveOptions`] exposes that split — records move from
 //! sources to the drive loop in batches, optionally produced on background
 //! threads feeding bounded per-core queues — and the serial min-time merge in
-//! [`System::drive`] stays untouched, so every batch size × producer count
+//! `System::drive` stays untouched, so every batch size × producer count
 //! combination yields byte-identical reports (pinned by the determinism
 //! suite).
 
@@ -25,7 +27,7 @@ use prefetch::CompositeKind;
 
 use crate::config::SystemConfig;
 use crate::controller::PrefetchController;
-use crate::core_model::CoreModel;
+use crate::core_timing::{CoreEngine, CoreTiming};
 use crate::metrics::SystemReport;
 use crate::selection::SelectionAlgorithm;
 
@@ -95,7 +97,7 @@ pub struct System {
     algorithm: SelectionAlgorithm,
     composite: CompositeKind,
     hierarchy: Hierarchy,
-    cores: Vec<CoreModel>,
+    cores: Vec<CoreEngine>,
 }
 
 impl System {
@@ -109,7 +111,7 @@ impl System {
     ) -> Self {
         let hierarchy = Hierarchy::new(config.hierarchy.clone());
         let cores = (0..config.cores)
-            .map(|id| CoreModel::new(id, &config, PrefetchController::new(composite, algorithm)))
+            .map(|id| CoreEngine::new(id, &config, PrefetchController::new(composite, algorithm)))
             .collect();
         Self { config, algorithm, composite, hierarchy, cores }
     }
@@ -359,6 +361,22 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_system_runs_and_reports_pipeline_metrics() {
+        let config =
+            SystemConfig::skylake_like(2).with_core_model(crate::config::CoreModelKind::OutOfOrder);
+        let mut system = System::new(config, SelectionAlgorithm::Alecto, CompositeKind::GsCsPmp);
+        let report = system.run(&[stream_workload(1_200, "stream")]);
+        assert_eq!(report.cores.len(), 2);
+        for core in &report.cores {
+            assert!(core.ipc > 0.0 && core.ipc.is_finite());
+            assert!(core.branch_mpki.is_some());
+            assert!(core.rob_occupancy.is_some());
+        }
+        assert!(report.avg_branch_mpki().is_some());
+        assert!(report.avg_rob_occupancy().is_some());
+    }
+
+    #[test]
     fn heterogeneous_assignment_wraps_workloads() {
         let mut system = System::new(
             SystemConfig::skylake_like(4),
@@ -420,7 +438,7 @@ mod tests {
         // wrap-around assignment sharing one source between cores.
         let mk_source =
             |n: u64, name: &'static str| {
-                TraceSource::new(name, true, n as usize, move || {
+                TraceSource::new(name, true, usize::try_from(n).unwrap(), move || {
                     Box::new((0..n).map(|i| {
                         MemoryRecord::load(Pc::new(0x400), Addr::new(0x40_0000 + i * 64), 6)
                     }))
@@ -452,7 +470,7 @@ mod tests {
         // threads, they never reorder the deterministic merge.
         let mk_source =
             |n: u64, name: &'static str| {
-                TraceSource::new(name, true, n as usize, move || {
+                TraceSource::new(name, true, usize::try_from(n).unwrap(), move || {
                     Box::new((0..n).map(|i| {
                         MemoryRecord::load(Pc::new(0x400), Addr::new(0x40_0000 + i * 64), 6)
                     }))

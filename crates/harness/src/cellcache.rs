@@ -383,6 +383,8 @@ pub fn report_to_json(report: &SystemReport) -> String {
                 ("training_occurrences", c.training_occurrences.to_string()),
                 ("table_misses", c.table_misses.to_string()),
                 ("prefetches_issued", c.prefetches_issued.to_string()),
+                ("branch_mpki", c.branch_mpki.map_or_else(|| "null".to_string(), json::number)),
+                ("rob_occupancy", c.rob_occupancy.map_or_else(|| "null".to_string(), json::number)),
             ])
         })
         .collect();
@@ -490,6 +492,10 @@ pub fn report_from_json(body: &str) -> Result<SystemReport, String> {
                 training_occurrences: get_u64(c, "training_occurrences")?,
                 table_misses: get_u64(c, "table_misses")?,
                 prefetches_issued: get_u64(c, "prefetches_issued")?,
+                // Optional so entries written before the pipeline metrics
+                // existed still parse (they carried only Approx cells anyway).
+                branch_mpki: c.get("branch_mpki").and_then(JsonValue::as_f64),
+                rob_occupancy: c.get("rob_occupancy").and_then(JsonValue::as_f64),
             })
         })
         .collect::<Result<Vec<_>, String>>()?;

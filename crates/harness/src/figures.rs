@@ -20,6 +20,14 @@ fn main_algorithms() -> Vec<SelectionAlgorithm> {
     SelectionAlgorithm::main_comparison().to_vec()
 }
 
+/// The Table-I configuration at `cores` cores under the scale's core timing
+/// model — every sweep experiment builds its `SystemConfig` through here (or
+/// applies `with_core_model` to a specialised constructor), so `--core-model`
+/// reaches each cell.
+fn system_config(scale: &RunScale, cores: usize) -> SystemConfig {
+    SystemConfig::skylake_like(cores).with_core_model(scale.core_model)
+}
+
 fn spec06_workloads(scale: &RunScale) -> Vec<TraceSource> {
     traces::Suite::Spec06.all_sources(scale.accesses)
 }
@@ -156,7 +164,7 @@ pub fn fig1(scale: &RunScale) -> Experiment {
             &workloads,
             &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto],
             CompositeKind::GsCsPmp,
-            &SystemConfig::skylake_like(1),
+            &system_config(scale, 1),
             scale.jobs,
         );
         let misses = |algo: &str| -> u64 {
@@ -244,7 +252,7 @@ pub fn fig8(scale: &RunScale) -> Experiment {
         &spec06_workloads(scale),
         &main_algorithms(),
         CompositeKind::GsCsPmp,
-        &SystemConfig::skylake_like(1),
+        &system_config(scale, 1),
         scale.jobs,
     );
     Experiment::new("fig8", "SPEC CPU2006 speedup over no prefetching (Fig. 8)", grid.to_table())
@@ -260,7 +268,7 @@ pub fn fig9(scale: &RunScale) -> Experiment {
         &spec17_workloads(scale),
         &main_algorithms(),
         CompositeKind::GsCsPmp,
-        &SystemConfig::skylake_like(1),
+        &system_config(scale, 1),
         scale.jobs,
     );
     Experiment::new("fig9", "SPEC CPU2017 speedup over no prefetching (Fig. 9)", grid.to_table())
@@ -277,7 +285,7 @@ pub fn fig10(scale: &RunScale) -> Experiment {
         &workloads,
         &main_algorithms(),
         CompositeKind::GsCsPmp,
-        &SystemConfig::skylake_like(1),
+        &system_config(scale, 1),
         scale.jobs,
     );
     let mut table = Table::new(vec![
@@ -324,14 +332,14 @@ pub fn fig11(scale: &RunScale) -> Experiment {
             &spec06_workloads(scale),
             &main_algorithms(),
             CompositeKind::GsBertiCplx,
-            &SystemConfig::skylake_like(1),
+            &system_config(scale, 1),
             scale.jobs,
         ),
         run_single_core_suite(
             &spec17_workloads(scale),
             &main_algorithms(),
             CompositeKind::GsBertiCplx,
-            &SystemConfig::skylake_like(1),
+            &system_config(scale, 1),
             scale.jobs,
         ),
     ]);
@@ -355,7 +363,7 @@ pub fn fig11(scale: &RunScale) -> Experiment {
 pub fn fig12(scale: &RunScale) -> Experiment {
     let workloads: Vec<TraceSource> =
         spec06_workloads(scale).into_iter().chain(spec17_workloads(scale)).collect();
-    let config = SystemConfig::skylake_like(1);
+    let config = system_config(scale, 1);
     let mut table = Table::new(vec!["configuration", "geomean speedup"]);
     let single = |composite: CompositeKind| -> f64 {
         let grid = run_single_core_suite(
@@ -406,9 +414,10 @@ fn temporal_speedup(
     with_temporal: SelectionAlgorithm,
     without_temporal: SelectionAlgorithm,
     metadata_bytes: u64,
-    jobs: usize,
+    scale: &RunScale,
 ) -> f64 {
-    let config = SystemConfig::skylake_like(1);
+    let jobs = scale.jobs;
+    let config = system_config(scale, 1);
     let with_grid = run_single_core_suite(
         workloads,
         &[with_temporal],
@@ -450,7 +459,7 @@ pub fn fig13(scale: &RunScale) -> Experiment {
         ("Alecto", SelectionAlgorithm::Alecto, SelectionAlgorithm::Alecto),
     ];
     for (label, with_t, without_t) in configs {
-        let s = temporal_speedup(&workloads, with_t, without_t, metadata, scale.jobs);
+        let s = temporal_speedup(&workloads, with_t, without_t, metadata, scale);
         table.push_row(vec![label.to_string(), format!("{s:.3}")]);
     }
     Experiment::new(
@@ -473,14 +482,14 @@ pub fn fig14(scale: &RunScale) -> Experiment {
             SelectionAlgorithm::Bandit6,
             SelectionAlgorithm::Bandit6,
             bytes,
-            scale.jobs,
+            scale,
         );
         let alecto = temporal_speedup(
             &workloads,
             SelectionAlgorithm::Alecto,
             SelectionAlgorithm::Alecto,
             bytes,
-            scale.jobs,
+            scale,
         );
         table.push_row(vec![format!("{kb}KB"), format!("{bandit:.3}"), format!("{alecto:.3}")]);
     }
@@ -502,7 +511,7 @@ pub fn fig15(scale: &RunScale) -> Experiment {
         h
     });
     for mb in [512 * 1024u64, 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024] {
-        let config = SystemConfig::with_llc_per_core(1, mb);
+        let config = SystemConfig::with_llc_per_core(1, mb).with_core_model(scale.core_model);
         let grid = run_single_core_suite(
             &workloads,
             &main_algorithms(),
@@ -530,7 +539,7 @@ pub fn fig16(scale: &RunScale) -> Experiment {
         h
     });
     for (label, kind) in [("DDR3-1600", DramKind::Ddr3_1600), ("DDR4-2400", DramKind::Ddr4_2400)] {
-        let config = SystemConfig::with_dram(1, kind);
+        let config = SystemConfig::with_dram(1, kind).with_core_model(scale.core_model);
         let grid = run_single_core_suite(
             &workloads,
             &main_algorithms(),
@@ -552,7 +561,7 @@ pub fn fig16(scale: &RunScale) -> Experiment {
 #[must_use]
 pub fn fig17(scale: &RunScale) -> Experiment {
     let algorithms = main_algorithms();
-    let config = SystemConfig::skylake_like(8);
+    let config = system_config(scale, 8);
     let mut grids = Vec::new();
 
     // Heterogeneous SPEC06 and SPEC17 mixes over the memory-intensive subset.
@@ -643,7 +652,7 @@ fn offset_source(source: TraceSource, core: usize) -> TraceSource {
 #[must_use]
 pub fn fig18(scale: &RunScale) -> Experiment {
     let workloads = memory_intensive_workloads(scale);
-    let config = SystemConfig::skylake_like(1);
+    let config = system_config(scale, 1);
     let grid = run_single_core_suite(
         &workloads,
         &[SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto],
@@ -715,7 +724,7 @@ pub fn fig19(scale: &RunScale) -> Experiment {
             SelectionAlgorithm::Alecto,
         ],
         CompositeKind::GsCsPmp,
-        &SystemConfig::skylake_like(1),
+        &system_config(scale, 1),
         scale.jobs,
     );
     Experiment::new("fig19", "Ablation: Alecto with fixed prefetching degree (Fig. 19)", grid.to_table())
@@ -735,7 +744,7 @@ pub fn fig20(scale: &RunScale) -> Experiment {
             SelectionAlgorithm::Alecto,
         ],
         CompositeKind::GsCsPmp,
-        &SystemConfig::skylake_like(1),
+        &system_config(scale, 1),
         scale.jobs,
     );
     Experiment::new(
@@ -761,7 +770,7 @@ pub fn bandit_extended(scale: &RunScale) -> Experiment {
             SelectionAlgorithm::Alecto,
         ],
         CompositeKind::GsCsPmp,
-        &SystemConfig::skylake_like(1),
+        &system_config(scale, 1),
         scale.jobs,
     );
     let mut table = Table::new(vec!["algorithm", "geomean speedup", "storage (bytes)"]);
@@ -799,7 +808,7 @@ pub fn bandit_extended(scale: &RunScale) -> Experiment {
 pub fn stress(scale: &RunScale) -> Experiment {
     let algorithms =
         [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto];
-    let config = SystemConfig::skylake_like(1);
+    let config = system_config(scale, 1);
     let mut grids = Vec::new();
     for mult in [1usize, 2, 4] {
         let accesses = scale.accesses.saturating_mul(mult);
@@ -839,21 +848,24 @@ pub fn stress(scale: &RunScale) -> Experiment {
 /// The `timing` experiment: the cycle-level model's knobs made visible.
 /// One benchmark per scenario family (paper anchor, pointer chasing, web
 /// serving, database scan) is swept under a *latency-sensitive* DRAM
-/// admission queue (`@lat`, four fills admitted per cycle) and a
-/// *bandwidth-bound* one (`@bw`, one fill per sixteen cycles), reporting
-/// speedup, IPC and average memory-access latency per cell — the v2 report
-/// fields CI's perf gate tracks.
+/// admission queue (`@lat`, four fills admitted per cycle), a
+/// *bandwidth-bound* one (`@bw`, one fill per sixteen cycles), and the
+/// latency-sensitive queue driven by the staged out-of-order core (`@ooo`,
+/// [`cpu::CoreModelKind::OutOfOrder`] regardless of `--core-model`),
+/// reporting speedup, IPC and average memory-access latency per cell — the
+/// v2 report fields CI's perf gate tracks.
 #[must_use]
 pub fn timing(scale: &RunScale) -> Experiment {
     let algorithms =
         [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto];
     let configs = [
-        ("lat", memsys::TimingParams::latency_sensitive()),
-        ("bw", memsys::TimingParams::bandwidth_bound()),
+        ("lat", memsys::TimingParams::latency_sensitive(), scale.core_model),
+        ("bw", memsys::TimingParams::bandwidth_bound(), scale.core_model),
+        ("ooo", memsys::TimingParams::latency_sensitive(), cpu::CoreModelKind::OutOfOrder),
     ];
     let mut grids = Vec::new();
-    for (tag, timing) in configs {
-        let config = SystemConfig::with_timing(1, timing);
+    for (tag, timing, core_model) in configs {
+        let config = SystemConfig::with_timing(1, timing).with_core_model(core_model);
         let sources: Vec<TraceSource> = [
             traces::spec06::source("mcf", scale.accesses),
             traces::gc::source("linked-list", scale.accesses),
@@ -908,9 +920,12 @@ pub fn timing(scale: &RunScale) -> Experiment {
     .with_note(
         "@lat admits 4 DRAM fills/cycle (latency-limited); @bw admits 1 per 16 cycles \
          (bandwidth-limited): the same trace shows higher average memory latency and lower \
-         IPC under @bw",
+         IPC under @bw; @ooo replays the @lat regime under the staged out-of-order core",
     )
-    .with_note("cells carry the alecto-bench-v2 fields: instructions, cycles, avg_mem_latency")
+    .with_note(
+        "cells carry the alecto-bench-v2 fields: instructions, cycles, avg_mem_latency, and \
+         (under the ooo core model) branch_mpki and rob_occupancy",
+    )
 }
 
 /// The `trace replay` grid: the full hierarchy × selector sweep of the
@@ -926,7 +941,7 @@ pub fn replay(sources: &[TraceSource], scale: &RunScale) -> Experiment {
         sources,
         &main_algorithms(),
         CompositeKind::GsCsPmp,
-        &SystemConfig::skylake_like(1),
+        &system_config(scale, 1),
         scale.jobs,
     );
     Experiment::new("replay", "Hierarchy x selector grid over trace sources", grid.to_table())
@@ -1081,17 +1096,23 @@ mod tests {
     fn timing_experiment_contrasts_latency_and_bandwidth_regimes() {
         let scale = RunScale::with_accesses(600, 300).with_jobs(2);
         let e = timing(&scale);
-        // Every family appears under both timing configurations.
+        // Every family appears under all three timing regimes.
         for bench in ["mcf", "linked-list", "web-cache", "seq-scan"] {
-            for tag in ["lat", "bw"] {
+            for tag in ["lat", "bw", "ooo"] {
                 let row = format!("{bench}@{tag}");
                 assert!(e.table.rows.iter().any(|r| r[0] == row), "timing table is missing {row}");
             }
         }
         // Cells carry the v2 timing fields, and the bandwidth-bound variant
         // of the streaming database scan shows the higher memory latency.
-        assert_eq!(e.cells.len(), 2 * 4 * 3);
+        assert_eq!(e.cells.len(), 3 * 4 * 3);
         assert!(e.cells.iter().all(|c| c.cycles > 0 && c.avg_mem_latency > 0.0));
+        // Only the out-of-order regime reports the pipeline metrics.
+        for c in &e.cells {
+            let ooo = c.benchmark.ends_with("@ooo");
+            assert_eq!(c.branch_mpki.is_some(), ooo, "{}", c.benchmark);
+            assert_eq!(c.rob_occupancy.is_some(), ooo, "{}", c.benchmark);
+        }
         let lat_of = |name: &str| {
             e.cells
                 .iter()

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! alecto-harness <experiment> [--accesses N] [--multicore-accesses N]
-//!                [--quick] [--jobs N] [--batch N] [--json PATH]
+//!                [--quick] [--jobs N] [--batch N] [--core-model approx|ooo]
+//!                [--json PATH]
 //! alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]
 //! alecto-harness list
 //! alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]
@@ -12,7 +13,7 @@
 //! alecto-harness trace record <benchmark> [--accesses N] --out PATH
 //! alecto-harness trace info <file.altr>
 //! alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N] [--batch N]
-//!                             [--json PATH]
+//!                             [--core-model approx|ooo] [--json PATH]
 //! alecto-harness trace import <records.txt> --out PATH [--name NAME] [--memory-intensive]
 //!
 //! experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12
@@ -56,7 +57,12 @@
 //!    the per-core multi-core budget as `max(N / 3, 100)`**, mirroring the
 //!    default scale's ratio. `N` must be positive: a zero budget is always
 //!    a typo, so it exits 2 with usage like `--jobs 0` does;
-//! 3. `--multicore-accesses N` overrides that derived multi-core budget.
+//! 3. `--multicore-accesses N` overrides that derived multi-core budget;
+//! 4. `--core-model {approx|ooo}` selects the per-core timing model every
+//!    sweep cell is configured with (default `approx`). Unlike the flags
+//!    above it changes simulated results, not just scale: `ooo` runs the
+//!    staged ROB/LSQ/branch-predictor pipeline and fills the nullable
+//!    `branch_mpki`/`rob_occupancy` report fields.
 //!
 //! `--jobs N` picks the worker-thread count of the parallel experiment
 //! engine (default: one per available hardware thread). It changes
@@ -79,7 +85,7 @@ use harness::RunScale;
 fn usage() -> ! {
     eprintln!(
         "usage: alecto-harness <experiment> [--accesses N] [--multicore-accesses N] [--quick]\n\
-         \x20                  [--jobs N] [--batch N] [--json PATH]\n\
+         \x20                  [--jobs N] [--batch N] [--core-model approx|ooo] [--json PATH]\n\
          \x20      alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]\n\
          \x20      alecto-harness list\n\
          \x20      alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]\n\
@@ -87,7 +93,7 @@ fn usage() -> ! {
          \x20      alecto-harness trace record <benchmark> [--accesses N] --out PATH\n\
          \x20      alecto-harness trace info <file.altr>\n\
          \x20      alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N]\n\
-         \x20                                  [--batch N] [--json PATH]\n\
+         \x20                                  [--batch N] [--core-model approx|ooo] [--json PATH]\n\
          \x20      alecto-harness trace import <records.txt> --out PATH [--name NAME]\n\
          \x20                                  [--memory-intensive]\n\
          experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12\n\
@@ -103,6 +109,11 @@ fn usage() -> ! {
          \x20                         one per cell become in-cell record producers\n\
          \x20 --batch N               records per producer batch (N >= 1; default 4096);\n\
          \x20                         never changes results, only wall-clock\n\
+         \x20 --core-model KIND       per-core timing model for every sweep cell: `approx`\n\
+         \x20                         (analytic frontiers, the default) or `ooo` (staged\n\
+         \x20                         ROB/LSQ/branch-predictor pipeline); unlike --jobs this\n\
+         \x20                         changes results — reports carry branch_mpki and\n\
+         \x20                         rob_occupancy under `ooo`\n\
          \x20 --json PATH             also write the alecto-bench-v2 JSON report to PATH\n\
          \x20                         (the path must be creatable — checked up front)\n\
          \x20 --out PATH              destination .altr file for trace record/import\n\
@@ -323,6 +334,7 @@ fn run_trace(args: &[String]) -> ! {
     let mut accesses: Option<usize> = None;
     let mut jobs: Option<usize> = None;
     let mut batch: Option<usize> = None;
+    let mut core_model: Option<cpu::CoreModelKind> = None;
     let mut out: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut name: Option<String> = None;
@@ -351,6 +363,14 @@ fn run_trace(args: &[String]) -> ! {
                     usage();
                 }
                 batch = Some(n);
+            }
+            "--core-model" => {
+                let label: String = parse_flag_value(rest, &mut i);
+                let Some(kind) = cpu::CoreModelKind::from_label(&label) else {
+                    eprintln!("error: unknown core model {label:?} (expected approx or ooo)");
+                    usage();
+                };
+                core_model = Some(kind);
             }
             "--out" => out = Some(parse_path_value(rest, &mut i)),
             "--json" => json_path = Some(parse_path_value(rest, &mut i)),
@@ -392,6 +412,9 @@ fn run_trace(args: &[String]) -> ! {
             let mut scale = RunScale::default();
             if let Some(n) = jobs {
                 scale.jobs = n;
+            }
+            if let Some(kind) = core_model {
+                scale = scale.with_core_model(kind);
             }
             // Thread budget beyond the cell workers goes to block-parallel
             // `.altr` decoding inside each replay. Like --jobs and --batch,
@@ -525,12 +548,21 @@ fn main() {
     let mut multicore_override: Option<usize> = None;
     let mut jobs: Option<usize> = None;
     let mut batch: Option<usize> = None;
+    let mut core_model: Option<cpu::CoreModelKind> = None;
     let mut json_path: Option<String> = None;
     let mut experiment = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--core-model" => {
+                let label: String = parse_flag_value(&args, &mut i);
+                let Some(kind) = cpu::CoreModelKind::from_label(&label) else {
+                    eprintln!("error: unknown core model {label:?} (expected approx or ooo)");
+                    usage();
+                };
+                core_model = Some(kind);
+            }
             "--accesses" => {
                 let n: usize = parse_flag_value(&args, &mut i);
                 // A zero access budget is always a typo; reject it like
@@ -569,12 +601,15 @@ fn main() {
     // derives the multi-core budget), then --multicore-accesses. The sweep
     // server resolves its request bodies through the same function, so
     // equivalent HTTP and CLI runs are byte-identical.
-    let scale = RunScale::resolve(
+    let mut scale = RunScale::resolve(
         quick || experiment == "quick",
         accesses_override,
         multicore_override,
         jobs,
     );
+    if let Some(kind) = core_model {
+        scale = scale.with_core_model(kind);
+    }
 
     if let Some(path) = &json_path {
         check_writable(path, "--json");

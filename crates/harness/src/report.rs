@@ -130,6 +130,18 @@ pub struct GridCell {
     pub cycles: u64,
     /// Average load-to-use latency per demand access, in cycles (`v2`).
     pub avg_mem_latency: f64,
+    /// Branch mispredicts per kilo-instruction, instruction-weighted across
+    /// cores (`v2`; `None`/JSON `null` under the analytic Approx core model,
+    /// which simulates no branches).
+    pub branch_mpki: Option<f64>,
+    /// Mean ROB occupancy in instructions, instruction-weighted across cores
+    /// (`v2`; `None`/JSON `null` under the Approx core model).
+    pub rob_occupancy: Option<f64>,
+}
+
+/// An optional metric as JSON: the number, or `null` when absent.
+fn nullable_number(value: Option<f64>) -> String {
+    value.map_or_else(|| "null".to_string(), json::number)
 }
 
 impl GridCell {
@@ -138,7 +150,8 @@ impl GridCell {
             "{{\"benchmark\":{},\"memory_intensive\":{},\"algorithm\":{},\"speedup\":{},\
              \"ipc\":{},\"baseline_ipc\":{},\"accuracy\":{},\"coverage\":{},\
              \"hierarchy_nj\":{},\"prefetcher_nj\":{},\
-             \"instructions\":{},\"cycles\":{},\"avg_mem_latency\":{}}}",
+             \"instructions\":{},\"cycles\":{},\"avg_mem_latency\":{},\
+             \"branch_mpki\":{},\"rob_occupancy\":{}}}",
             json::string(&self.benchmark),
             self.memory_intensive,
             json::string(&self.algorithm),
@@ -152,6 +165,8 @@ impl GridCell {
             self.instructions,
             self.cycles,
             json::number(self.avg_mem_latency),
+            nullable_number(self.branch_mpki),
+            nullable_number(self.rob_occupancy),
         )
     }
 }
@@ -183,6 +198,8 @@ pub fn grid_cells(grid: &SpeedupGrid) -> Vec<GridCell> {
                 instructions: algo.report.total_instructions(),
                 cycles: algo.report.total_cycles(),
                 avg_mem_latency: algo.report.avg_mem_latency(),
+                branch_mpki: algo.report.avg_branch_mpki(),
+                rob_occupancy: algo.report.avg_rob_occupancy(),
             });
         }
     }
@@ -671,6 +688,8 @@ mod tests {
             instructions: 123_456_789_012,
             cycles: 98_765_432_109,
             avg_mem_latency: 17.375,
+            branch_mpki: Some(6.5),
+            rob_occupancy: None,
         };
         let mut e = Experiment::new("timing", "Timing sweep", Table::new(vec!["x"]));
         e.cells.push(cell.clone());
@@ -690,6 +709,10 @@ mod tests {
         assert_eq!(c.get("speedup").and_then(JsonValue::as_f64), Some(1.25));
         assert_eq!(c.get("ipc").and_then(JsonValue::as_f64), Some(2.5));
         assert_eq!(c.get("memory_intensive").and_then(JsonValue::as_bool), Some(true));
+        // The nullable pipeline metrics: present as a number when reported,
+        // an explicit JSON null otherwise.
+        assert_eq!(c.get("branch_mpki").and_then(JsonValue::as_f64), Some(6.5));
+        assert_eq!(c.get("rob_occupancy"), Some(&JsonValue::Null));
     }
 
     #[test]

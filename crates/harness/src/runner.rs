@@ -45,11 +45,20 @@ pub struct RunScale {
     /// Worker threads for the experiment engine; `0` means one per available
     /// hardware thread. The value never changes results, only wall-clock.
     pub jobs: usize,
+    /// Core timing model every sweep cell is configured with (except cells an
+    /// experiment pins explicitly, such as the `timing` figure's dedicated
+    /// out-of-order regime).
+    pub core_model: cpu::CoreModelKind,
 }
 
 impl Default for RunScale {
     fn default() -> Self {
-        Self { accesses: 20_000, multicore_accesses: 6_000, jobs: 0 }
+        Self {
+            accesses: 20_000,
+            multicore_accesses: 6_000,
+            jobs: 0,
+            core_model: cpu::CoreModelKind::Approx,
+        }
     }
 }
 
@@ -57,20 +66,32 @@ impl RunScale {
     /// A reduced scale for smoke tests and CI.
     #[must_use]
     pub const fn quick() -> Self {
-        Self { accesses: 4_000, multicore_accesses: 1_500, jobs: 0 }
+        Self {
+            accesses: 4_000,
+            multicore_accesses: 1_500,
+            jobs: 0,
+            core_model: cpu::CoreModelKind::Approx,
+        }
     }
 
     /// A scale with explicit access budgets and the default (auto) worker
     /// count — the common constructor for tests and benches.
     #[must_use]
     pub const fn with_accesses(accesses: usize, multicore_accesses: usize) -> Self {
-        Self { accesses, multicore_accesses, jobs: 0 }
+        Self { accesses, multicore_accesses, jobs: 0, core_model: cpu::CoreModelKind::Approx }
     }
 
     /// Same scale with an explicit worker count.
     #[must_use]
     pub const fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Same scale with an explicit core timing model.
+    #[must_use]
+    pub const fn with_core_model(mut self, core_model: cpu::CoreModelKind) -> Self {
+        self.core_model = core_model;
         self
     }
 
@@ -670,6 +691,13 @@ mod tests {
             base.cache_key(),
             CellJob { config: &other_config, ..base }.cache_key(),
             "system configuration"
+        );
+        let ooo_config =
+            SystemConfig::skylake_like(1).with_core_model(cpu::CoreModelKind::OutOfOrder);
+        assert_ne!(
+            base.cache_key(),
+            CellJob { config: &ooo_config, ..base }.cache_key(),
+            "core timing model"
         );
         assert_ne!(
             base.cache_key(),

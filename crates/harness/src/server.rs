@@ -535,12 +535,28 @@ fn submit_sweep(state: &Arc<ServerState>, body: &str) -> Response {
             return Response::error(400, "invalid_scale", &e)
         }
     };
-    let scale = RunScale::resolve(
+    let mut scale = RunScale::resolve(
         quick || experiment == "quick",
         accesses,
         multicore,
         jobs.or(Some(state.config.default_jobs)),
     );
+    match doc.get("core_model") {
+        None => {}
+        Some(JsonValue::String(label)) => match cpu::CoreModelKind::from_label(label) {
+            Some(kind) => scale = scale.with_core_model(kind),
+            None => {
+                return Response::error(
+                    400,
+                    "invalid_core_model",
+                    &format!("{label:?} is not a core model (expected \"approx\" or \"ooo\")"),
+                )
+            }
+        },
+        Some(_) => {
+            return Response::error(400, "invalid_core_model", "core_model must be a string")
+        }
+    }
 
     let trace_specs: Vec<String> = match doc.get("traces") {
         None => Vec::new(),
@@ -649,7 +665,8 @@ fn job_response(state: &Arc<ServerState>, id: &str) -> Response {
     };
     Response::ok(format!(
         "{{\"id\":\"{}\",\"experiment\":{},\"status\":\"{}\",\
-         \"scale\":{{\"accesses\":{},\"multicore_accesses\":{},\"jobs\":{}}},\
+         \"scale\":{{\"accesses\":{},\"multicore_accesses\":{},\"jobs\":{},\
+         \"core_model\":{}}},\
          \"cells\":{{\"completed\":{},\"cache_hits\":{},\"cache_misses\":{}}},\
          \"completed_cells\":{}{error_member},\"result\":\"/v1/results/{}\"}}\n",
         job.id,
@@ -658,6 +675,7 @@ fn job_response(state: &Arc<ServerState>, id: &str) -> Response {
         job.scale.accesses,
         job.scale.multicore_accesses,
         job.scale.jobs,
+        json::string(job.scale.core_model.label()),
         cells.len(),
         job.cache_hits.load(Ordering::Relaxed),
         job.cache_misses.load(Ordering::Relaxed),
@@ -726,6 +744,37 @@ mod tests {
         let error = doc.get("error").expect("error member");
         assert_eq!(error.get("code").and_then(JsonValue::as_str), Some("invalid_json"));
         assert_eq!(error.get("message").and_then(JsonValue::as_str), Some("bad \"quote\""));
+    }
+
+    fn idle_state() -> Arc<ServerState> {
+        Arc::new(ServerState {
+            cache: Arc::new(CellCache::new(4)),
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_signal: Condvar::new(),
+            next_job_id: AtomicU64::new(1),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            busy_workers: AtomicUsize::new(0),
+            config: ServerConfig::default(),
+        })
+    }
+
+    #[test]
+    fn submit_validates_the_core_model_knob() {
+        // No sweep workers are attached: submissions only queue, which is all
+        // the validation path needs.
+        let state = idle_state();
+        let bad = submit_sweep(&state, r#"{"experiment":"quick","core_model":"fast"}"#);
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("invalid_core_model"), "{}", bad.body);
+        let not_a_string = submit_sweep(&state, r#"{"experiment":"quick","core_model":3}"#);
+        assert_eq!(not_a_string.status, 400);
+        let ok = submit_sweep(&state, r#"{"experiment":"quick","core_model":"ooo"}"#);
+        assert_eq!(ok.status, 202, "{}", ok.body);
+        let queued = state.queue.lock().unwrap();
+        assert_eq!(queued.len(), 1);
+        assert_eq!(queued[0].scale.core_model, cpu::CoreModelKind::OutOfOrder);
     }
 
     #[test]

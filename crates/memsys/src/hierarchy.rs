@@ -223,6 +223,30 @@ impl Hierarchy {
         self.prefetches_redundant
     }
 
+    /// Completion-time query for an individual outstanding access: the cycle
+    /// at which the in-flight miss covering `line` completes, probing `core`'s
+    /// private L1 and L2 MSHRs and then the shared L3 file, or `None` when the
+    /// line is not outstanding anywhere at `now`.
+    ///
+    /// This is the per-access counterpart of the aggregate latency counters in
+    /// [`Hierarchy::timing_stats`]: cycle-level core models (the out-of-order
+    /// LSQ in `crates/cpu`) use it to wake individual queue entries instead of
+    /// treating every miss as an opaque scalar latency. Read-only — probing
+    /// never retires entries or perturbs timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn outstanding_completion(&self, core: usize, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        let private = &self.cores[core];
+        private
+            .l1_mshr
+            .completion_of(line, now)
+            .or_else(|| private.l2_mshr.completion_of(line, now))
+            .or_else(|| self.l3_mshr.completion_of(line, now))
+    }
+
     /// Drains accumulated prefetch usefulness feedback.
     pub fn drain_feedback(&mut self) -> Vec<PrefetchFeedback> {
         std::mem::take(&mut self.feedback)
@@ -690,6 +714,23 @@ mod tests {
         assert_eq!(r2.hit_level, Some(Level::L1));
         assert_eq!(r2.latency, h.params().l1d.latency);
         assert_eq!(r2.coverage, CoverageEvent::CacheHit);
+    }
+
+    #[test]
+    fn outstanding_completion_tracks_an_individual_miss() {
+        let mut h = hier(1);
+        let line = LineAddr::new(0x180);
+        let r = h.demand_access(0, line, 0);
+        // The miss is outstanding: the probe reports the MSHR's fill arrival
+        // (at or before the access's end-to-end completion, which also pays
+        // the L1 forward latency) and repeating it does not disturb anything.
+        let fill = h.outstanding_completion(0, line, 1).expect("miss is in flight");
+        assert!(fill > 1 && fill <= r.completion_cycle);
+        assert_eq!(h.outstanding_completion(0, line, 1), Some(fill));
+        // A line never requested is not outstanding.
+        assert_eq!(h.outstanding_completion(0, LineAddr::new(0x999), 1), None);
+        // Once the fill lands the access is no longer in flight.
+        assert_eq!(h.outstanding_completion(0, line, r.completion_cycle), None);
     }
 
     #[test]

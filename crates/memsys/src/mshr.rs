@@ -78,6 +78,17 @@ impl MshrFile {
         self.entries.values().map(|e| e.completion).min()
     }
 
+    /// Non-mutating completion probe: the cycle at which the outstanding miss
+    /// for `line` completes, if one is still in flight at `now`.
+    ///
+    /// Unlike [`MshrFile::lookup`] this neither retires stale entries nor
+    /// hands out a mutable reference, so timing models can ask "when does
+    /// this particular access come back?" without perturbing the file.
+    #[must_use]
+    pub fn completion_of(&self, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        self.entries.get(&line).map(|e| e.completion).filter(|&c| c > now)
+    }
+
     /// Allocates an entry for `line`.
     ///
     /// If the file is full, demand allocations first displace an outstanding
@@ -161,6 +172,19 @@ mod tests {
         assert!(m.lookup(LineAddr::new(2), 10).is_none());
         // After completion the entry retires.
         assert!(m.lookup(LineAddr::new(1), 100).is_none());
+    }
+
+    #[test]
+    fn completion_probe_is_non_mutating() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr::new(7), 120, None, 0);
+        // In flight: the probe reports the completion cycle without retiring.
+        assert_eq!(m.completion_of(LineAddr::new(7), 10), Some(120));
+        assert_eq!(m.completion_of(LineAddr::new(8), 10), None);
+        // At or past completion the access is no longer outstanding.
+        assert_eq!(m.completion_of(LineAddr::new(7), 120), None);
+        // ...but the probe did not remove the (stale) entry itself.
+        assert_eq!(m.entries.len(), 1);
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! pure wall-clock knob and lets CI compare `BENCH_*.json` files across
 //! machines.
 
-use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
+use cpu::{CompositeKind, CoreModelKind, SelectionAlgorithm, SystemConfig};
 use harness::runner::{run_multicore_mix, run_single_core_suite};
 use harness::{with_drive_options, DriveOptions, SpeedupGrid};
 
-fn quick_suite(jobs: usize) -> SpeedupGrid {
+fn quick_suite_with_model(jobs: usize, core_model: CoreModelKind) -> SpeedupGrid {
     let sources = vec![
         traces::spec06::source("lbm", 800),
         traces::spec06::source("mcf", 800),
@@ -20,9 +20,13 @@ fn quick_suite(jobs: usize) -> SpeedupGrid {
         &sources,
         &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto],
         CompositeKind::GsCsPmp,
-        &SystemConfig::skylake_like(1),
+        &SystemConfig::skylake_like(1).with_core_model(core_model),
         jobs,
     )
+}
+
+fn quick_suite(jobs: usize) -> SpeedupGrid {
+    quick_suite_with_model(jobs, CoreModelKind::Approx)
 }
 
 fn assert_grids_identical(a: &SpeedupGrid, b: &SpeedupGrid) {
@@ -97,6 +101,30 @@ fn repeated_parallel_runs_are_identical() {
     let first = quick_suite(4);
     let second = quick_suite(4);
     assert_grids_identical(&first, &second);
+}
+
+#[test]
+fn out_of_order_suite_is_identical_at_any_jobs_and_batch() {
+    // The staged pipeline core must honour the same contract as the analytic
+    // model: worker count, batch granularity and producer threading are pure
+    // wall-clock knobs. Sweep the full {jobs} × {batch} matrix against the
+    // serial, default-batch reference.
+    let reference = quick_suite_with_model(1, CoreModelKind::OutOfOrder);
+    for jobs in [1usize, 2, 4] {
+        for batch_records in [1usize, 4096] {
+            let options = DriveOptions { batch_records, ..DriveOptions::new() };
+            let grid = with_drive_options(options, || {
+                quick_suite_with_model(jobs, CoreModelKind::OutOfOrder)
+            });
+            assert_grids_identical(&reference, &grid);
+        }
+    }
+    // And the pipeline metrics it adds actually reach the v2 cells.
+    for cell in harness::report::grid_cells(&reference) {
+        assert!(cell.branch_mpki.is_some(), "{} lost branch MPKI", cell.benchmark);
+        assert!(cell.rob_occupancy.is_some(), "{} lost ROB occupancy", cell.benchmark);
+        assert!(cell.ipc > 0.0 && cell.ipc.is_finite());
+    }
 }
 
 #[test]
