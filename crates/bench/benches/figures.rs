@@ -23,7 +23,8 @@ fn fig02_gemsfdtd_patterns(c: &mut Criterion) {
 }
 
 fn table1_system_config(c: &mut Criterion) {
-    c.bench_function("table1_system_config", |b| b.iter(figures::table1));
+    let scale = RunScale::default();
+    c.bench_function("table1_system_config", |b| b.iter(|| figures::table1(&scale)));
 }
 
 fn table2_prefetchers(c: &mut Criterion) {

@@ -1,46 +1,16 @@
 //! System configuration mirroring Table I ("1–8 cores, 256-entry ROB, 6-width
 //! fetch, 6-width decode, 8-width issue, 4-width commit, 72/56-entry LQ/SQ").
+//!
+//! All construction funnels through [`SystemConfig::from_machine`]: a
+//! [`MachineSpec`] (from the built-in registry, a machine file, or the
+//! anonymous [`MachineSpec::table1`] defaults) is lowered into the concrete
+//! simulator parameters here, and the historical `with_*` constructors are
+//! thin wrappers over that one lowering.
 
+use machine::MachineSpec;
 use memsys::{DramKind, HierarchyParams};
 
-/// Which timing model simulates each core.
-///
-/// The two models share the prefetch/selection stack and the memory
-/// hierarchy; they differ only in how core cycles are accounted. `Approx` is
-/// the fast analytic frontier model and stays the default for sweeps;
-/// `OutOfOrder` is the staged integer-cycle pipeline (ROB/LSQ/gshare) behind
-/// the `CoreTiming` trait. Selected per run via [`SystemConfig::core_model`]
-/// and the harness `--core-model {approx|ooo}` flag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum CoreModelKind {
-    /// Analytic fetch/retire frontier model (`CoreModel`), f64 time.
-    #[default]
-    Approx,
-    /// Staged out-of-order pipeline (`OooCore`), integer cycles.
-    OutOfOrder,
-}
-
-impl CoreModelKind {
-    /// Stable lower-case label used by the CLI flag, the sweep-server JSON
-    /// field and report annotations.
-    #[must_use]
-    pub const fn label(self) -> &'static str {
-        match self {
-            Self::Approx => "approx",
-            Self::OutOfOrder => "ooo",
-        }
-    }
-
-    /// Parses a CLI/server label (`"approx"` or `"ooo"`).
-    #[must_use]
-    pub fn from_label(label: &str) -> Option<Self> {
-        match label {
-            "approx" => Some(Self::Approx),
-            "ooo" => Some(Self::OutOfOrder),
-            _ => None,
-        }
-    }
-}
+pub use machine::CoreModelKind;
 
 /// Full system configuration: core microarchitecture plus memory hierarchy.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,27 +34,45 @@ pub struct SystemConfig {
     /// Which core timing model to simulate (Approx analytic vs OutOfOrder
     /// staged pipeline).
     pub core_model: CoreModelKind,
+    /// Name of the machine description this configuration was lowered from,
+    /// when it came from a *named* spec (registry or file). `None` for the
+    /// anonymous Table-I defaults, which keeps default reports byte-stable.
+    /// Participates in the config's `Debug` rendering and therefore in the
+    /// harness cell cache key.
+    pub machine: Option<String>,
 }
 
 impl SystemConfig {
-    /// The Skylake-like configuration of Table I for `cores` cores.
+    /// Lowers a [`MachineSpec`] into a runnable configuration — the single
+    /// construction funnel shared by the CLI, the sweep server and the
+    /// tests. The spec's name is recorded (and surfaced by
+    /// [`SystemConfig::describe`]) unless the spec is anonymous.
+    #[must_use]
+    pub fn from_machine(spec: &MachineSpec) -> Self {
+        Self {
+            cores: spec.cores,
+            rob_entries: spec.rob_entries,
+            fetch_width: spec.fetch_width,
+            commit_width: spec.commit_width,
+            load_queue: spec.load_queue,
+            store_queue: spec.store_queue,
+            hierarchy: spec.hierarchy(),
+            selector_epoch_instructions: spec.selector_epoch_instructions,
+            core_model: spec.core_model,
+            machine: (!spec.name.is_empty()).then(|| spec.name.clone()),
+        }
+    }
+
+    /// The Skylake-like configuration of Table I for `cores` cores —
+    /// [`SystemConfig::from_machine`] over the anonymous
+    /// [`MachineSpec::table1`] defaults.
     ///
     /// # Panics
     ///
     /// Panics if `cores` is zero.
     #[must_use]
     pub fn skylake_like(cores: usize) -> Self {
-        Self {
-            cores,
-            rob_entries: 256,
-            fetch_width: 6,
-            commit_width: 4,
-            load_queue: 72,
-            store_queue: 56,
-            hierarchy: HierarchyParams::skylake_like(cores),
-            selector_epoch_instructions: 20_000,
-            core_model: CoreModelKind::Approx,
-        }
+        Self::from_machine(&MachineSpec::table1(cores))
     }
 
     /// Same configuration with the core timing model replaced (builder-style,
@@ -99,17 +87,13 @@ impl SystemConfig {
     /// Table I configuration with an explicit LLC capacity per core (Fig. 15).
     #[must_use]
     pub fn with_llc_per_core(cores: usize, llc_bytes_per_core: u64) -> Self {
-        let mut c = Self::skylake_like(cores);
-        c.hierarchy = HierarchyParams::with_llc_per_core(cores, llc_bytes_per_core);
-        c
+        Self::from_machine(&MachineSpec::table1(cores).with_llc_per_core(llc_bytes_per_core))
     }
 
     /// Table I configuration with the given DRAM generation (Fig. 16).
     #[must_use]
     pub fn with_dram(cores: usize, kind: DramKind) -> Self {
-        let mut c = Self::skylake_like(cores);
-        c.hierarchy = HierarchyParams::with_dram(cores, kind);
-        c
+        Self::from_machine(&MachineSpec::table1(cores).with_dram_kind(kind))
     }
 
     /// Table I configuration with explicit timing knobs (the `timing`
@@ -117,16 +101,20 @@ impl SystemConfig {
     /// rates).
     #[must_use]
     pub fn with_timing(cores: usize, timing: memsys::TimingParams) -> Self {
-        let mut c = Self::skylake_like(cores);
-        c.hierarchy.timing = timing;
-        c
+        Self::from_machine(&MachineSpec::table1(cores).with_timing(timing))
     }
 
     /// Renders the configuration as the rows of Table I (used by the harness's
-    /// `table1` command).
+    /// `table1` command). Configurations lowered from a named machine lead
+    /// with a "Machine" row naming the spec; anonymous (default) ones render
+    /// exactly the historical rows.
     #[must_use]
     pub fn describe(&self) -> Vec<(String, String)> {
-        vec![
+        let mut rows = Vec::with_capacity(8);
+        if let Some(name) = &self.machine {
+            rows.push(("Machine".to_string(), format!("{name} (alecto-machine-v1)")));
+        }
+        rows.extend([
             (
                 "Core".to_string(),
                 format!(
@@ -197,7 +185,8 @@ impl SystemConfig {
                     self.hierarchy.timing.dram_drain_period
                 ),
             ),
-        ]
+        ]);
+        rows
     }
 }
 
@@ -214,6 +203,7 @@ mod tests {
         assert_eq!(c.load_queue, 72);
         assert_eq!(c.store_queue, 56);
         assert_eq!(c.hierarchy.cores, 1);
+        assert_eq!(c.machine, None, "the anonymous defaults carry no machine name");
     }
 
     #[test]
@@ -225,6 +215,22 @@ mod tests {
     }
 
     #[test]
+    fn from_machine_is_the_single_funnel() {
+        // The historical constructors must produce exactly what lowering the
+        // equivalent spec produces — they are the same code path.
+        for cores in [1usize, 2, 4, 8] {
+            assert_eq!(
+                SystemConfig::skylake_like(cores),
+                SystemConfig::from_machine(&MachineSpec::table1(cores)),
+            );
+        }
+        let named = machine::builtin("desktop").expect("builtin");
+        let c = SystemConfig::from_machine(&named);
+        assert_eq!(c.machine.as_deref(), Some("desktop"));
+        assert_eq!(c.cores, 4);
+    }
+
+    #[test]
     fn describe_covers_all_modules() {
         let rows = SystemConfig::skylake_like(8).describe();
         let labels: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
@@ -233,6 +239,14 @@ mod tests {
         assert!(labels.contains(&"Shared L3 cache"));
         assert!(labels.contains(&"Main memory"));
         assert!(rows.iter().all(|(_, v)| !v.is_empty()));
+        // Anonymous configs must render the historical rows only: the
+        // "Machine" row is reserved for named specs (default reports stay
+        // byte-identical).
+        assert!(!labels.contains(&"Machine"));
+        let named = SystemConfig::from_machine(&machine::builtin("server").expect("builtin"));
+        let rows = named.describe();
+        assert_eq!(rows[0].0, "Machine");
+        assert!(rows[0].1.contains("server"));
     }
 
     #[test]

@@ -20,12 +20,12 @@ fn main_algorithms() -> Vec<SelectionAlgorithm> {
     SelectionAlgorithm::main_comparison().to_vec()
 }
 
-/// The Table-I configuration at `cores` cores under the scale's core timing
-/// model — every sweep experiment builds its `SystemConfig` through here (or
-/// applies `with_core_model` to a specialised constructor), so `--core-model`
-/// reaches each cell.
+/// The scale's machine (Table I by default) lowered at `cores` cores under
+/// the scale's core timing model — every sweep experiment builds its
+/// `SystemConfig` through here (or lowers a modified `machine_at` spec), so
+/// `--machine` and `--core-model` reach each cell.
 fn system_config(scale: &RunScale, cores: usize) -> SystemConfig {
-    SystemConfig::skylake_like(cores).with_core_model(scale.core_model)
+    scale.base_config(cores)
 }
 
 fn spec06_workloads(scale: &RunScale) -> Vec<TraceSource> {
@@ -72,11 +72,12 @@ fn geomean_row(grid: &SpeedupGrid, label: &str, mem_only: bool) -> Vec<String> {
 // Tables I–III
 // ---------------------------------------------------------------------------
 
-/// Table I: the simulated system configuration.
+/// Table I: the simulated system configuration (of the selected machine,
+/// Skylake-like Table I by default).
 #[must_use]
-pub fn table1() -> Experiment {
+pub fn table1(scale: &RunScale) -> Experiment {
     let mut table = Table::new(vec!["Module", "Configuration"]);
-    for (k, v) in SystemConfig::skylake_like(8).describe() {
+    for (k, v) in scale.base_config(scale.multicore_cores(8)).describe() {
         table.push_row(vec![k, v]);
     }
     Experiment::new("table1", "System configuration (Skylake-like, Table I)", table)
@@ -511,7 +512,8 @@ pub fn fig15(scale: &RunScale) -> Experiment {
         h
     });
     for mb in [512 * 1024u64, 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024] {
-        let config = SystemConfig::with_llc_per_core(1, mb).with_core_model(scale.core_model);
+        let config = SystemConfig::from_machine(&scale.machine_at(1).with_llc_per_core(mb))
+            .with_core_model(scale.core_model);
         let grid = run_single_core_suite(
             &workloads,
             &main_algorithms(),
@@ -539,7 +541,8 @@ pub fn fig16(scale: &RunScale) -> Experiment {
         h
     });
     for (label, kind) in [("DDR3-1600", DramKind::Ddr3_1600), ("DDR4-2400", DramKind::Ddr4_2400)] {
-        let config = SystemConfig::with_dram(1, kind).with_core_model(scale.core_model);
+        let config = SystemConfig::from_machine(&scale.machine_at(1).with_dram_kind(kind))
+            .with_core_model(scale.core_model);
         let grid = run_single_core_suite(
             &workloads,
             &main_algorithms(),
@@ -561,13 +564,17 @@ pub fn fig16(scale: &RunScale) -> Experiment {
 #[must_use]
 pub fn fig17(scale: &RunScale) -> Experiment {
     let algorithms = main_algorithms();
-    let config = system_config(scale, 8);
+    // Eight cores historically; a selected machine brings its own count.
+    let cores = scale.multicore_cores(8);
+    let config = system_config(scale, cores);
     let mut grids = Vec::new();
 
-    // Heterogeneous SPEC06 and SPEC17 mixes over the memory-intensive subset.
+    // Heterogeneous SPEC06 and SPEC17 mixes over the memory-intensive subset
+    // (cycled when the machine has more cores than the subset has members).
     let spec06_mix: Vec<TraceSource> = traces::spec06::memory_intensive()
         .iter()
-        .take(8)
+        .cycle()
+        .take(cores)
         .enumerate()
         .map(|(i, n)| offset_source(traces::spec06::source(n, scale.multicore_accesses), i))
         .collect();
@@ -581,7 +588,8 @@ pub fn fig17(scale: &RunScale) -> Experiment {
     ));
     let spec17_mix: Vec<TraceSource> = traces::spec17::memory_intensive()
         .iter()
-        .take(8)
+        .cycle()
+        .take(cores)
         .enumerate()
         .map(|(i, n)| offset_source(traces::spec17::source(n, scale.multicore_accesses), i))
         .collect();
@@ -596,7 +604,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
 
     // PARSEC: each core runs one thread of the same benchmark.
     for bench in ["canneal", "streamcluster"] {
-        let per_core = traces::parsec::per_core_sources(bench, scale.multicore_accesses, 8);
+        let per_core = traces::parsec::per_core_sources(bench, scale.multicore_accesses, cores);
         grids.push(run_multicore_mix(
             &format!("PARSEC-{bench}"),
             &per_core,
@@ -608,7 +616,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
     }
     // Ligra: each core runs a kernel instance over its own graph partition.
     for kernel in ["BFS", "PageRank"] {
-        let per_core: Vec<TraceSource> = (0..8)
+        let per_core: Vec<TraceSource> = (0..cores)
             .map(|i| offset_source(traces::ligra::source(kernel, scale.multicore_accesses), i))
             .collect();
         grids.push(run_multicore_mix(
@@ -865,7 +873,8 @@ pub fn timing(scale: &RunScale) -> Experiment {
     ];
     let mut grids = Vec::new();
     for (tag, timing, core_model) in configs {
-        let config = SystemConfig::with_timing(1, timing).with_core_model(core_model);
+        let config = SystemConfig::from_machine(&scale.machine_at(1).with_timing(timing))
+            .with_core_model(core_model);
         let sources: Vec<TraceSource> = [
             traces::spec06::source("mcf", scale.accesses),
             traces::gc::source("linked-list", scale.accesses),
@@ -990,7 +999,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
 #[must_use]
 pub fn builder(id: &str) -> Option<fn(&RunScale) -> Vec<Experiment>> {
     Some(match id {
-        "table1" => |_| vec![table1()],
+        "table1" => |s| vec![table1(s)],
         "table2" => |_| vec![table2()],
         "table3" => |_| vec![table3()],
         "fig1" => |s| vec![fig1(s)],
@@ -1022,7 +1031,7 @@ pub fn all(scale: &RunScale) -> Vec<Experiment> {
     vec![
         fig1(scale),
         fig2(scale),
-        table1(),
+        table1(scale),
         table2(),
         fig8(scale),
         fig9(scale),
@@ -1054,7 +1063,12 @@ mod tests {
 
     #[test]
     fn static_tables_render() {
-        assert!(table1().render().contains("256-entry ROB"));
+        assert!(table1(&RunScale::default()).render().contains("256-entry ROB"));
+        // A named machine surfaces as the leading Table-I row.
+        let server = RunScale::default().with_machine(machine::builtin("server").expect("builtin"));
+        let rendered = table1(&server).render();
+        assert!(rendered.contains("Machine"), "{rendered}");
+        assert!(rendered.contains("server (alecto-machine-v1)"), "{rendered}");
         assert!(table2().render().contains("PMP"));
         let t3 = table3();
         assert_eq!(t3.table.cell("3", "Excl. sandbox (bytes)"), Some("760"));

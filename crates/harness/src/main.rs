@@ -4,16 +4,19 @@
 //!
 //! ```text
 //! alecto-harness <experiment> [--accesses N] [--multicore-accesses N]
-//!                [--quick] [--jobs N] [--batch N] [--core-model approx|ooo]
-//!                [--json PATH]
+//!                [--quick] [--jobs N] [--batch N] [--machine NAME|FILE]
+//!                [--core-model approx|ooo] [--json PATH]
 //! alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]
 //! alecto-harness list
+//! alecto-harness machines [list]
+//! alecto-harness machines show <name|file>
+//! alecto-harness machines check <name|file>...
 //! alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]
 //!                      [--cache-capacity N] [--cache-dir PATH]
 //! alecto-harness trace record <benchmark> [--accesses N] --out PATH
 //! alecto-harness trace info <file.altr>
 //! alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N] [--batch N]
-//!                             [--core-model approx|ooo] [--json PATH]
+//!                             [--machine NAME|FILE] [--core-model approx|ooo] [--json PATH]
 //! alecto-harness trace import <records.txt> --out PATH [--name NAME] [--memory-intensive]
 //!
 //! experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12
@@ -28,6 +31,17 @@
 //!
 //! `list` prints every registered benchmark (grouped by suite) and every
 //! experiment id, then exits 0.
+//!
+//! `machines` manages declarative machine descriptions (the
+//! `alecto-machine-v1` format, see the `machine` crate and the README's
+//! "Machines" section): bare `machines` (or `machines list`) tabulates the
+//! built-in registry, `machines show` prints a spec's canonical text and
+//! fingerprint, and `machines check` validates files (or names), exiting 2
+//! on the first invalid one — CI runs it over every committed spec. Every
+//! experiment and `trace replay` accept `--machine <name|file>`; the
+//! machine's core model applies sweep-wide unless `--core-model` overrides
+//! it, and an unknown or invalid machine exits 2 with usage before any
+//! simulation runs.
 //!
 //! The `trace` subcommands persist and replay access streams:
 //!
@@ -85,15 +99,20 @@ use harness::RunScale;
 fn usage() -> ! {
     eprintln!(
         "usage: alecto-harness <experiment> [--accesses N] [--multicore-accesses N] [--quick]\n\
-         \x20                  [--jobs N] [--batch N] [--core-model approx|ooo] [--json PATH]\n\
+         \x20                  [--jobs N] [--batch N] [--machine NAME|FILE]\n\
+         \x20                  [--core-model approx|ooo] [--json PATH]\n\
          \x20      alecto-harness compare <baseline.json> <candidate.json> [--tolerance PCT]\n\
          \x20      alecto-harness list\n\
+         \x20      alecto-harness machines [list]\n\
+         \x20      alecto-harness machines show <name|file>\n\
+         \x20      alecto-harness machines check <name|file>...\n\
          \x20      alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]\n\
          \x20                           [--cache-capacity N] [--cache-dir PATH]\n\
          \x20      alecto-harness trace record <benchmark> [--accesses N] --out PATH\n\
          \x20      alecto-harness trace info <file.altr>\n\
          \x20      alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N]\n\
-         \x20                                  [--batch N] [--core-model approx|ooo] [--json PATH]\n\
+         \x20                                  [--batch N] [--machine NAME|FILE]\n\
+         \x20                                  [--core-model approx|ooo] [--json PATH]\n\
          \x20      alecto-harness trace import <records.txt> --out PATH [--name NAME]\n\
          \x20                                  [--memory-intensive]\n\
          experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12\n\
@@ -109,11 +128,18 @@ fn usage() -> ! {
          \x20                         one per cell become in-cell record producers\n\
          \x20 --batch N               records per producer batch (N >= 1; default 4096);\n\
          \x20                         never changes results, only wall-clock\n\
+         \x20 --machine NAME|FILE     machine description every sweep cell lowers its config\n\
+         \x20                         from: a built-in name (mobile desktop server manycore,\n\
+         \x20                         see `machines`) or an alecto-machine-v1 file; supplies\n\
+         \x20                         cache geometry, DRAM, timing, core widths, core count\n\
+         \x20                         and the default core model; validated before anything\n\
+         \x20                         runs (exit 2 on an unknown or invalid machine)\n\
          \x20 --core-model KIND       per-core timing model for every sweep cell: `approx`\n\
          \x20                         (analytic frontiers, the default) or `ooo` (staged\n\
-         \x20                         ROB/LSQ/branch-predictor pipeline); unlike --jobs this\n\
-         \x20                         changes results — reports carry branch_mpki and\n\
-         \x20                         rob_occupancy under `ooo`\n\
+         \x20                         ROB/LSQ/branch-predictor pipeline); overrides the\n\
+         \x20                         selected machine's model; unlike --jobs this changes\n\
+         \x20                         results — reports carry branch_mpki and rob_occupancy\n\
+         \x20                         under `ooo`\n\
          \x20 --json PATH             also write the alecto-bench-v2 JSON report to PATH\n\
          \x20                         (the path must be creatable — checked up front)\n\
          \x20 --out PATH              destination .altr file for trace record/import\n\
@@ -211,6 +237,71 @@ fn run_list() -> ! {
         "file:<PATH>"
     );
     std::process::exit(0);
+}
+
+/// Resolves a `--machine` argument (built-in name or machine file) or exits
+/// 2 with usage — always before any simulation, mirroring `--core-model`.
+fn resolve_machine(arg: &str) -> machine::MachineSpec {
+    machine::load(arg).unwrap_or_else(|err| {
+        eprintln!("error: --machine {err}");
+        usage();
+    })
+}
+
+/// The `machines` subcommand family: list / show / check.
+fn run_machines(args: &[String]) -> ! {
+    match args.first().map(String::as_str) {
+        None | Some("list") => {
+            if args.len() > 1 {
+                usage();
+            }
+            let mut table = Table::new(vec!["name", "cores", "core model", "fingerprint"]);
+            for name in machine::BUILTIN_NAMES {
+                let spec = machine::builtin(name).expect("built-in machines always parse");
+                table.push_row(vec![
+                    spec.name.clone(),
+                    spec.cores.to_string(),
+                    spec.core_model.label().to_string(),
+                    format!("0x{}", spec.fingerprint_hex()),
+                ]);
+            }
+            println!("{}", table.render());
+            println!("run any experiment (or trace replay) with --machine <name|file>");
+            std::process::exit(0);
+        }
+        Some("show") => {
+            let [_, arg] = args else { usage() };
+            let spec = machine::load(arg).unwrap_or_else(|err| {
+                eprintln!("error: {err}");
+                usage();
+            });
+            print!("{}", spec.canonical_text());
+            println!("\n# fingerprint: 0x{}", spec.fingerprint_hex());
+            std::process::exit(0);
+        }
+        Some("check") => {
+            let targets = &args[1..];
+            if targets.is_empty() {
+                usage();
+            }
+            for arg in targets {
+                match machine::load(arg) {
+                    Ok(spec) => println!(
+                        "{arg}: ok (machine {:?}, {} core(s), fingerprint 0x{})",
+                        spec.name,
+                        spec.cores,
+                        spec.fingerprint_hex()
+                    ),
+                    Err(err) => {
+                        eprintln!("error: {err}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            std::process::exit(0);
+        }
+        Some(_) => usage(),
+    }
 }
 
 /// Fails fast (exit 2 + usage) when `path` cannot be created, naming `flag`.
@@ -334,6 +425,7 @@ fn run_trace(args: &[String]) -> ! {
     let mut accesses: Option<usize> = None;
     let mut jobs: Option<usize> = None;
     let mut batch: Option<usize> = None;
+    let mut machine_spec: Option<machine::MachineSpec> = None;
     let mut core_model: Option<cpu::CoreModelKind> = None;
     let mut out: Option<String> = None;
     let mut json_path: Option<String> = None;
@@ -363,6 +455,10 @@ fn run_trace(args: &[String]) -> ! {
                     usage();
                 }
                 batch = Some(n);
+            }
+            "--machine" => {
+                let arg: String = parse_path_value(rest, &mut i);
+                machine_spec = Some(resolve_machine(&arg));
             }
             "--core-model" => {
                 let label: String = parse_flag_value(rest, &mut i);
@@ -412,6 +508,9 @@ fn run_trace(args: &[String]) -> ! {
             let mut scale = RunScale::default();
             if let Some(n) = jobs {
                 scale.jobs = n;
+            }
+            if let Some(spec) = machine_spec {
+                scale = scale.with_machine(spec);
             }
             if let Some(kind) = core_model {
                 scale = scale.with_core_model(kind);
@@ -539,6 +638,7 @@ fn main() {
     match args[0].as_str() {
         "compare" => run_compare(&args[1..]),
         "list" => run_list(),
+        "machines" => run_machines(&args[1..]),
         "serve" => run_serve(&args[1..]),
         "trace" => run_trace(&args[1..]),
         _ => {}
@@ -548,6 +648,7 @@ fn main() {
     let mut multicore_override: Option<usize> = None;
     let mut jobs: Option<usize> = None;
     let mut batch: Option<usize> = None;
+    let mut machine_spec: Option<machine::MachineSpec> = None;
     let mut core_model: Option<cpu::CoreModelKind> = None;
     let mut json_path: Option<String> = None;
     let mut experiment = None;
@@ -555,6 +656,10 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--machine" => {
+                let arg: String = parse_path_value(&args, &mut i);
+                machine_spec = Some(resolve_machine(&arg));
+            }
             "--core-model" => {
                 let label: String = parse_flag_value(&args, &mut i);
                 let Some(kind) = cpu::CoreModelKind::from_label(&label) else {
@@ -607,6 +712,11 @@ fn main() {
         multicore_override,
         jobs,
     );
+    // The machine supplies the default core model; an explicit --core-model
+    // then overrides it, whatever the flag order on the command line.
+    if let Some(spec) = machine_spec {
+        scale = scale.with_machine(spec);
+    }
     if let Some(kind) = core_model {
         scale = scale.with_core_model(kind);
     }

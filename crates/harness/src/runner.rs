@@ -33,10 +33,11 @@ use cpu::{CompositeKind, DriveOptions, SelectionAlgorithm, System, SystemConfig,
 
 use crate::report::Table;
 
-/// How large the generated traces are and how many worker threads execute
-/// the sweep. The defaults keep a full-suite sweep tractable in a release
-/// build; the integration tests use smaller values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// How large the generated traces are, how many worker threads execute the
+/// sweep, and which machine description the sweep cells are configured
+/// with. The defaults keep a full-suite sweep tractable in a release build;
+/// the integration tests use smaller values.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunScale {
     /// Memory accesses per single-core workload.
     pub accesses: usize,
@@ -47,8 +48,15 @@ pub struct RunScale {
     pub jobs: usize,
     /// Core timing model every sweep cell is configured with (except cells an
     /// experiment pins explicitly, such as the `timing` figure's dedicated
-    /// out-of-order regime).
+    /// out-of-order regime). When a [`RunScale::machine`] is set this is
+    /// initialised from the machine's `[core] model` and an explicit
+    /// `--core-model` flag then overrides it.
     pub core_model: cpu::CoreModelKind,
+    /// Machine description the sweep cells lower their [`SystemConfig`]s
+    /// from (`--machine` / the sweep server's `"machine"` field). `None`
+    /// means the anonymous Table-I defaults — the historical behaviour,
+    /// byte-identical to before machines existed.
+    pub machine: Option<machine::MachineSpec>,
 }
 
 impl Default for RunScale {
@@ -58,6 +66,7 @@ impl Default for RunScale {
             multicore_accesses: 6_000,
             jobs: 0,
             core_model: cpu::CoreModelKind::Approx,
+            machine: None,
         }
     }
 }
@@ -65,34 +74,69 @@ impl Default for RunScale {
 impl RunScale {
     /// A reduced scale for smoke tests and CI.
     #[must_use]
-    pub const fn quick() -> Self {
-        Self {
-            accesses: 4_000,
-            multicore_accesses: 1_500,
-            jobs: 0,
-            core_model: cpu::CoreModelKind::Approx,
-        }
+    pub fn quick() -> Self {
+        Self { accesses: 4_000, multicore_accesses: 1_500, ..Self::default() }
     }
 
     /// A scale with explicit access budgets and the default (auto) worker
     /// count — the common constructor for tests and benches.
     #[must_use]
-    pub const fn with_accesses(accesses: usize, multicore_accesses: usize) -> Self {
-        Self { accesses, multicore_accesses, jobs: 0, core_model: cpu::CoreModelKind::Approx }
+    pub fn with_accesses(accesses: usize, multicore_accesses: usize) -> Self {
+        Self { accesses, multicore_accesses, ..Self::default() }
     }
 
     /// Same scale with an explicit worker count.
     #[must_use]
-    pub const fn with_jobs(mut self, jobs: usize) -> Self {
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
         self
     }
 
     /// Same scale with an explicit core timing model.
     #[must_use]
-    pub const fn with_core_model(mut self, core_model: cpu::CoreModelKind) -> Self {
+    pub fn with_core_model(mut self, core_model: cpu::CoreModelKind) -> Self {
         self.core_model = core_model;
         self
+    }
+
+    /// Same scale running on the given machine description. The machine's
+    /// core model becomes the sweep-wide model (a later
+    /// [`RunScale::with_core_model`] still overrides it, mirroring how the
+    /// CLI layers `--core-model` over `--machine`).
+    #[must_use]
+    pub fn with_machine(mut self, spec: machine::MachineSpec) -> Self {
+        self.core_model = spec.core_model;
+        self.machine = Some(spec);
+        self
+    }
+
+    /// The machine spec experiments lower configs from at a given structural
+    /// core count: the selected machine rescaled to `cores` (keeping its
+    /// per-core geometry), or the anonymous Table-I machine when no machine
+    /// was selected.
+    #[must_use]
+    pub fn machine_at(&self, cores: usize) -> machine::MachineSpec {
+        match &self.machine {
+            Some(spec) => spec.clone().with_cores(cores),
+            None => machine::MachineSpec::table1(cores),
+        }
+    }
+
+    /// The [`SystemConfig`] a sweep cell at `cores` cores runs under: the
+    /// scale's machine lowered at that core count, with the scale's core
+    /// model applied on top. This is the one funnel every figure builder
+    /// goes through.
+    #[must_use]
+    pub fn base_config(&self, cores: usize) -> SystemConfig {
+        SystemConfig::from_machine(&self.machine_at(cores)).with_core_model(self.core_model)
+    }
+
+    /// Structural core count for multi-core experiments: the machine's own
+    /// core count when one is selected, otherwise the experiment's
+    /// historical default.
+    #[must_use]
+    pub fn multicore_cores(&self, default: usize) -> usize {
+        self.machine.as_ref().map_or(default, |spec| spec.cores)
     }
 
     /// Resolves a scale request the way the CLI documents, in order: the

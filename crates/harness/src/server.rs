@@ -512,6 +512,53 @@ fn resolve_replay_spec(spec: &str, accesses: usize) -> Result<TraceSource, Strin
     Ok(suite.source(spec, accesses))
 }
 
+/// Flattens an inline `"machine"` JSON object into the dotted-path entries
+/// the machine compiler consumes (`{"cache":{"l1d":{"ways":4}}}` becomes
+/// `cache.l1d.ways = 4`), at line 0 so errors come back without a source
+/// line. Only integers, strings and nested objects are meaningful in the
+/// machine format; anything else is rejected by name.
+fn flatten_machine_object(prefix: &str, value: &JsonValue) -> Result<Vec<machine::Entry>, String> {
+    fn walk(
+        prefix: &str,
+        value: &JsonValue,
+        entries: &mut Vec<machine::Entry>,
+    ) -> Result<(), String> {
+        match value {
+            JsonValue::Object(fields) => {
+                for (key, field) in fields {
+                    let path =
+                        if prefix.is_empty() { key.clone() } else { format!("{prefix}.{key}") };
+                    walk(&path, field, entries)?;
+                }
+                Ok(())
+            }
+            JsonValue::String(s) => {
+                entries.push(machine::Entry {
+                    path: prefix.to_string(),
+                    value: machine::RawValue::Str(s.clone()),
+                    line: 0,
+                });
+                Ok(())
+            }
+            JsonValue::Number(n) => {
+                if n.fract() != 0.0 || *n < 0.0 || *n > u64::MAX as f64 {
+                    return Err(format!("machine key `{prefix}` must be a non-negative integer"));
+                }
+                entries.push(machine::Entry {
+                    path: prefix.to_string(),
+                    value: machine::RawValue::Int(*n as u64),
+                    line: 0,
+                });
+                Ok(())
+            }
+            _ => Err(format!("machine key `{prefix}` must be an integer, a string or an object")),
+        }
+    }
+    let mut entries = Vec::new();
+    walk(prefix, value, &mut entries)?;
+    Ok(entries)
+}
+
 fn submit_sweep(state: &Arc<ServerState>, body: &str) -> Response {
     let doc = match json::parse(body) {
         Ok(doc) => doc,
@@ -541,6 +588,40 @@ fn submit_sweep(state: &Arc<ServerState>, body: &str) -> Response {
         multicore,
         jobs.or(Some(state.config.default_jobs)),
     );
+    // The machine is applied before "core_model" so an explicit core model
+    // overrides the machine's default — the same layering as the CLI's
+    // `--machine` / `--core-model` flags.
+    match doc.get("machine") {
+        None => {}
+        Some(JsonValue::String(name)) => match machine::builtin(name) {
+            Some(spec) => scale = scale.with_machine(spec),
+            None => {
+                return Response::error(
+                    400,
+                    "invalid_machine",
+                    &format!(
+                        "{name:?} is not a built-in machine (expected one of: {})",
+                        machine::BUILTIN_NAMES.join(", ")
+                    ),
+                )
+            }
+        },
+        Some(object @ JsonValue::Object(_)) => {
+            match flatten_machine_object("", object)
+                .and_then(|entries| machine::compile_entries(&entries, true))
+            {
+                Ok(spec) => scale = scale.with_machine(spec),
+                Err(err) => return Response::error(400, "invalid_machine", &err),
+            }
+        }
+        Some(_) => {
+            return Response::error(
+                400,
+                "invalid_machine",
+                "machine must be a built-in machine name or an inline spec object",
+            )
+        }
+    }
     match doc.get("core_model") {
         None => {}
         Some(JsonValue::String(label)) => match cpu::CoreModelKind::from_label(label) {
@@ -663,10 +744,21 @@ fn job_response(state: &Arc<ServerState>, id: &str) -> Response {
         JobStatus::Failed(message) => format!(",\"error\":{}", json::string(message)),
         _ => String::new(),
     };
+    // The resolved machine is echoed by name + canonical fingerprint (null
+    // when the job runs the anonymous Table-I defaults), so clients can
+    // verify which machine actually served their sweep.
+    let machine_member = match &job.scale.machine {
+        Some(spec) => format!(
+            "{{\"name\":{},\"fingerprint\":\"0x{}\"}}",
+            json::string(&spec.name),
+            spec.fingerprint_hex()
+        ),
+        None => "null".to_string(),
+    };
     Response::ok(format!(
         "{{\"id\":\"{}\",\"experiment\":{},\"status\":\"{}\",\
          \"scale\":{{\"accesses\":{},\"multicore_accesses\":{},\"jobs\":{},\
-         \"core_model\":{}}},\
+         \"core_model\":{},\"machine\":{machine_member}}},\
          \"cells\":{{\"completed\":{},\"cache_hits\":{},\"cache_misses\":{}}},\
          \"completed_cells\":{}{error_member},\"result\":\"/v1/results/{}\"}}\n",
         job.id,
@@ -775,6 +867,70 @@ mod tests {
         let queued = state.queue.lock().unwrap();
         assert_eq!(queued.len(), 1);
         assert_eq!(queued[0].scale.core_model, cpu::CoreModelKind::OutOfOrder);
+    }
+
+    #[test]
+    fn submit_validates_the_machine_field() {
+        let state = idle_state();
+        // Unknown built-in name → the invalid_machine envelope.
+        let bad = submit_sweep(&state, r#"{"experiment":"quick","machine":"laptop"}"#);
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("invalid_machine"), "{}", bad.body);
+        // Wrong type → rejected before anything queues.
+        let wrong = submit_sweep(&state, r#"{"experiment":"quick","machine":7}"#);
+        assert_eq!(wrong.status, 400);
+        assert!(wrong.body.contains("invalid_machine"), "{}", wrong.body);
+        // An inline spec object with a bad value reports the machine error
+        // (no "line N:" prefix — the body has no source lines).
+        let inline_bad = submit_sweep(
+            &state,
+            r#"{"experiment":"quick","machine":{"format":"alecto-machine-v1","cores":4,"core":{"model":"fast"}}}"#,
+        );
+        assert_eq!(inline_bad.status, 400);
+        assert!(inline_bad.body.contains("invalid_machine"), "{}", inline_bad.body);
+        assert!(!inline_bad.body.contains("line "), "{}", inline_bad.body);
+        assert!(state.queue.lock().unwrap().is_empty(), "nothing may queue on a 400");
+
+        // A built-in name queues with the machine's core model applied...
+        let ok = submit_sweep(&state, r#"{"experiment":"quick","machine":"server"}"#);
+        assert_eq!(ok.status, 202, "{}", ok.body);
+        // ...unless core_model explicitly overrides it.
+        let overridden = submit_sweep(
+            &state,
+            r#"{"experiment":"quick","machine":"server","core_model":"approx"}"#,
+        );
+        assert_eq!(overridden.status, 202, "{}", overridden.body);
+        // And an inline object defaults its name to "inline".
+        let inline_ok = submit_sweep(
+            &state,
+            r#"{"experiment":"quick","machine":{"format":"alecto-machine-v1","cores":2}}"#,
+        );
+        assert_eq!(inline_ok.status, 202, "{}", inline_ok.body);
+        let queued = state.queue.lock().unwrap();
+        assert_eq!(queued.len(), 3);
+        assert_eq!(queued[0].scale.core_model, cpu::CoreModelKind::OutOfOrder);
+        assert_eq!(queued[0].scale.machine.as_ref().unwrap().name, "server");
+        assert_eq!(queued[1].scale.core_model, cpu::CoreModelKind::Approx);
+        assert_eq!(queued[2].scale.machine.as_ref().unwrap().name, "inline");
+        assert_eq!(queued[2].scale.machine.as_ref().unwrap().cores, 2);
+    }
+
+    #[test]
+    fn machine_objects_flatten_to_dotted_entries() {
+        let doc = json::parse(
+            r#"{"format":"alecto-machine-v1","cores":4,"cache":{"l1d":{"ways":4,"size_kb":32}}}"#,
+        )
+        .unwrap();
+        let entries = flatten_machine_object("", &doc).unwrap();
+        let paths: Vec<&str> = entries.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"cache.l1d.ways"), "{paths:?}");
+        assert!(entries.iter().all(|e| e.line == 0));
+        let spec = machine::compile_entries(&entries, true).unwrap();
+        assert_eq!(spec.l1d.ways, 4);
+        // Non-integer numbers are named in the rejection.
+        let doc = json::parse(r#"{"cores":2.5}"#).unwrap();
+        let err = flatten_machine_object("", &doc).unwrap_err();
+        assert!(err.contains("`cores`"), "{err}");
     }
 
     #[test]

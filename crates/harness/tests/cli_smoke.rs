@@ -148,3 +148,104 @@ fn no_arguments_exits_two_with_usage() {
     let stderr = String::from_utf8(output.stderr).expect("utf-8 usage");
     assert!(stderr.contains("experiments:"));
 }
+
+#[test]
+fn machine_flag_unknown_name_exits_two_with_usage() {
+    // Machine resolution is a flag error like any other: exit 2 with usage,
+    // and it must fail *before* any simulation runs.
+    let output = harness()
+        .args(["quick", "--accesses", "60", "--machine", "laptop"])
+        .output()
+        .expect("spawn");
+    assert_eq!(output.status.code(), Some(2), "unknown machine must exit 2");
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 usage");
+    assert!(stderr.contains("error: --machine"), "error names the flag:\n{stderr}");
+    assert!(stderr.contains("not a built-in"), "error lists the registry:\n{stderr}");
+    assert!(stderr.contains("usage: alecto-harness"), "usage follows:\n{stderr}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(stdout.is_empty(), "no experiment may run before the machine check:\n{stdout}");
+}
+
+#[test]
+fn machine_flag_unreadable_or_invalid_file_exits_two_with_usage() {
+    // A path that does not exist...
+    let output = harness()
+        .args(["quick", "--accesses", "60", "--machine", "/nonexistent-dir-xyz/m.toml"])
+        .output()
+        .expect("spawn");
+    assert_eq!(output.status.code(), Some(2), "unreadable machine file must exit 2");
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 usage");
+    assert!(stderr.contains("error: --machine"), "error names the flag:\n{stderr}");
+    assert!(
+        stderr.contains("cannot read machine file"),
+        "error explains the io failure:\n{stderr}"
+    );
+    assert!(stderr.contains("usage: alecto-harness"), "usage follows:\n{stderr}");
+
+    // ...and a file that exists but fails to parse, with the offending line.
+    let path = std::env::temp_dir().join(format!("alecto-bad-machine-{}.toml", std::process::id()));
+    std::fs::write(&path, "format = \"alecto-machine-v1\"\nname = \"bad\"\ncores = oops\n")
+        .expect("write temp machine");
+    let output = harness()
+        .args(["quick", "--accesses", "60", "--machine", path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(output.status.code(), Some(2), "invalid machine file must exit 2");
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 usage");
+    assert!(stderr.contains("error: --machine"), "error names the flag:\n{stderr}");
+    assert!(stderr.contains("line 3"), "error carries the offending line:\n{stderr}");
+    assert!(stderr.contains("usage: alecto-harness"), "usage follows:\n{stderr}");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(stdout.is_empty(), "no experiment may run before the machine check:\n{stdout}");
+}
+
+#[test]
+fn machines_subcommand_lists_shows_and_checks() {
+    // `machines` (and `machines list`) tabulate the built-in registry.
+    let output = harness().arg("machines").output().expect("spawn");
+    assert!(output.status.success(), "machines must exit 0, got {:?}", output.status);
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 listing");
+    for name in ["mobile", "desktop", "server", "manycore"] {
+        assert!(stdout.contains(name), "listing is missing {name}:\n{stdout}");
+    }
+    assert!(stdout.contains("fingerprint"), "listing is missing fingerprints:\n{stdout}");
+
+    // `machines show <name>` prints the canonical, re-parseable text.
+    let output = harness().args(["machines", "show", "desktop"]).output().expect("spawn");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 canonical text");
+    assert!(stdout.contains("format = \"alecto-machine-v1\""), "not canonical:\n{stdout}");
+    assert!(stdout.contains("name = \"desktop\""), "wrong machine:\n{stdout}");
+    assert!(stdout.contains("# fingerprint: 0x"), "fingerprint footer missing:\n{stdout}");
+
+    // `machines check` validates every named target; a bad one exits 2.
+    let output = harness()
+        .args(["machines", "check", "mobile", "desktop", "server", "manycore"])
+        .output()
+        .expect("spawn");
+    assert!(output.status.success(), "built-ins must pass their own check");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 check report");
+    assert_eq!(stdout.matches("ok (machine ").count(), 4, "one ok line per target:\n{stdout}");
+    let output = harness().args(["machines", "check", "laptop"]).output().expect("spawn");
+    assert_eq!(output.status.code(), Some(2), "unknown target must fail the check");
+}
+
+#[test]
+fn machine_flag_selects_a_builtin_and_changes_the_report() {
+    // A valid --machine runs to completion and actually changes the numbers
+    // (desktop differs from the anonymous default in cache geometry), while
+    // the flag's absence keeps today's report untouched.
+    let default = harness().args(["fig8", "--accesses", "60"]).output().expect("spawn");
+    let desktop = harness()
+        .args(["fig8", "--accesses", "60", "--machine", "desktop"])
+        .output()
+        .expect("spawn");
+    let mobile = harness()
+        .args(["fig8", "--accesses", "60", "--machine", "mobile"])
+        .output()
+        .expect("spawn");
+    assert!(default.status.success() && desktop.status.success() && mobile.status.success());
+    assert_ne!(default.stdout, mobile.stdout, "mobile must change the report");
+    assert_ne!(desktop.stdout, mobile.stdout, "distinct machines must differ");
+}

@@ -264,3 +264,53 @@ fn cache_dir_serves_warm_sweeps_across_server_instances() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn machine_sweeps_match_the_cli_and_echo_their_identity() {
+    let addr = start_server(ServerConfig::default());
+
+    // An unknown machine name is a 400 envelope, same as every other
+    // validation failure — nothing reaches the sweep queue.
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/v1/sweep",
+        r#"{"experiment":"replay","traces":["lbm"],"machine":"laptop"}"#,
+    );
+    assert_eq!(status, 400);
+    let doc = json::parse(&body).expect("error body is JSON");
+    let code = doc.get("error").and_then(|e| e.get("code")).and_then(JsonValue::as_str);
+    assert_eq!(code, Some("invalid_machine"), "body: {body}");
+
+    // A built-in machine runs to completion and the job document echoes the
+    // machine's name and fingerprint in its scale line.
+    let spec = machine::builtin("server").expect("server is a built-in");
+    let id = submit(
+        &addr,
+        r#"{"experiment":"replay","traces":["lbm"],"accesses":300,"machine":"server"}"#,
+    );
+    let job = await_job(&addr, &id);
+    assert_eq!(job.get("status").and_then(JsonValue::as_str), Some("done"), "job: {job:?}");
+    let echoed = job.get("scale").and_then(|s| s.get("machine")).expect("scale echoes machine");
+    assert_eq!(echoed.get("name").and_then(JsonValue::as_str), Some("server"));
+    assert_eq!(
+        echoed.get("fingerprint").and_then(JsonValue::as_str),
+        Some(format!("0x{}", spec.fingerprint_hex()).as_str())
+    );
+
+    // Byte-identity with the CLI pipeline: the server must serve exactly what
+    // `alecto-harness trace replay lbm --accesses 300 --machine server --json`
+    // writes.
+    let (status, result) = http(&addr, "GET", &format!("/v1/results/{id}"), "");
+    assert_eq!(status, 200);
+    let source = traces::Suite::of("lbm").expect("lbm registered").source("lbm", 300);
+    let scale = RunScale::resolve(false, Some(300), None, Some(0)).with_machine(spec);
+    let expected = experiments_to_json(&[figures::replay(std::slice::from_ref(&source), &scale)]);
+    assert_eq!(result, expected, "machine sweep differs from the CLI pipeline");
+
+    // A machine-less job keeps the old null echo.
+    let plain_id = submit(&addr, REPLAY_LBM);
+    let plain_job = await_job(&addr, &plain_id);
+    let echoed = plain_job.get("scale").and_then(|s| s.get("machine")).expect("machine member");
+    assert!(matches!(echoed, JsonValue::Null), "machine-less scale must echo null: {plain_job:?}");
+}

@@ -1,0 +1,120 @@
+//! The built-in machine registry: named specs embedded in the binary via
+//! `include_str!`, plus [`load`], the one resolver the CLI and server share
+//! for "name or file path" machine arguments.
+
+use std::sync::OnceLock;
+
+use crate::parse::parse;
+use crate::spec::MachineSpec;
+
+/// Names of the built-in machines, in listing order.
+pub const BUILTIN_NAMES: [&str; 4] = ["mobile", "desktop", "server", "manycore"];
+
+const BUILTIN_SOURCES: [&str; 4] = [
+    include_str!("../machines/mobile.toml"),
+    include_str!("../machines/desktop.toml"),
+    include_str!("../machines/server.toml"),
+    include_str!("../machines/manycore.toml"),
+];
+
+fn builtins() -> &'static Vec<MachineSpec> {
+    static CACHE: OnceLock<Vec<MachineSpec>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        BUILTIN_NAMES
+            .iter()
+            .zip(BUILTIN_SOURCES)
+            .map(|(name, source)| {
+                let spec =
+                    parse(source).unwrap_or_else(|err| panic!("built-in machine {name}: {err}"));
+                assert_eq!(&spec.name, name, "built-in machine file name mismatch");
+                spec
+            })
+            .collect()
+    })
+}
+
+/// Looks up a built-in machine by name.
+#[must_use]
+pub fn builtin(name: &str) -> Option<MachineSpec> {
+    builtins().iter().find(|spec| spec.name == name).cloned()
+}
+
+/// Resolves a `--machine` argument: a built-in name first, otherwise a path
+/// to an `alecto-machine-v1` file.
+///
+/// # Errors
+///
+/// Returns a ready-to-print message: parse errors are prefixed with the
+/// file path, unreadable path-like arguments report the I/O error, and
+/// anything else is diagnosed as neither a built-in nor a file.
+pub fn load(arg: &str) -> Result<MachineSpec, String> {
+    if let Some(spec) = builtin(arg) {
+        return Ok(spec);
+    }
+    match std::fs::read_to_string(arg) {
+        Ok(text) => parse(&text).map_err(|err| format!("{arg}: {err}")),
+        Err(io) if arg.contains('/') || arg.contains('.') => {
+            Err(format!("cannot read machine file {arg}: {io}"))
+        }
+        Err(_) => Err(format!(
+            "unknown machine {arg:?}: not a built-in ({}) and not a readable file",
+            BUILTIN_NAMES.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreModelKind;
+
+    #[test]
+    fn every_builtin_parses_validates_and_matches_its_name() {
+        for name in BUILTIN_NAMES {
+            let spec = builtin(name).unwrap_or_else(|| panic!("missing builtin {name}"));
+            assert_eq!(spec.name, name);
+            assert!(spec.validate().is_ok(), "{name} must validate");
+        }
+        assert!(builtin("laptop").is_none());
+    }
+
+    #[test]
+    fn builtins_are_pairwise_distinct_by_fingerprint() {
+        let prints: Vec<u64> =
+            BUILTIN_NAMES.iter().map(|n| builtin(n).unwrap().fingerprint()).collect();
+        for (i, a) in prints.iter().enumerate() {
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn builtins_survive_core_count_rescaling() {
+        // Figures run machines at 1, 8 and the machine's own core count;
+        // per-core geometry must stay power-of-two at all of them.
+        for name in BUILTIN_NAMES {
+            let spec = builtin(name).unwrap();
+            for cores in [1usize, 8, 16] {
+                let rescaled = spec.clone().with_cores(cores);
+                assert!(rescaled.validate().is_ok(), "{name} at {cores} cores");
+            }
+        }
+    }
+
+    #[test]
+    fn the_server_machine_pins_the_ooo_model() {
+        assert_eq!(builtin("server").unwrap().core_model, CoreModelKind::OutOfOrder);
+        assert_eq!(builtin("desktop").unwrap().core_model, CoreModelKind::Approx);
+    }
+
+    #[test]
+    fn load_distinguishes_names_paths_and_garbage() {
+        assert_eq!(load("desktop").unwrap().cores, 4);
+        let err = load("laptop").unwrap_err();
+        assert!(err.contains("not a built-in"), "{err}");
+        assert!(err.contains("desktop"), "the builtins must be listed: {err}");
+        let err = load("/no/such/machine.toml").unwrap_err();
+        assert!(err.contains("cannot read machine file"), "{err}");
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`selectors`] — the baseline selection algorithms (IPCP, DOL, Bandit,
 //!   PPF) the paper compares against.
 //! * [`memsys`] / [`cpu`] — the cache/DRAM/core simulator substrate.
+//! * [`machine`] — declarative `alecto-machine-v1` machine descriptions
+//!   and the built-in registry behind `--machine`.
 //! * [`traces`] — synthetic SPEC/PARSEC/Ligra-like workload generators.
 //! * [`traceio`] — the `.altr` binary trace record/replay format and the
 //!   ChampSim-style external trace importer.
@@ -32,6 +34,7 @@ pub use alecto;
 pub use alecto_types as types;
 pub use cpu;
 pub use harness;
+pub use machine;
 pub use memsys;
 pub use prefetch;
 pub use selectors;
@@ -40,6 +43,8 @@ pub use traces;
 
 /// Convenience re-exports used by the examples and integration tests.
 pub mod prelude {
-    pub use crate::{alecto, cpu, harness, memsys, prefetch, selectors, traceio, traces, types};
+    pub use crate::{
+        alecto, cpu, harness, machine, memsys, prefetch, selectors, traceio, traces, types,
+    };
     pub use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
 }
