@@ -7,10 +7,28 @@
 //! simulator parameters here, and the historical `with_*` constructors are
 //! thin wrappers over that one lowering.
 
-use machine::MachineSpec;
+use machine::{MachineSpec, PrefetchStack};
 use memsys::{DramKind, HierarchyParams};
+use prefetch::CompositeKind;
 
 pub use machine::CoreModelKind;
+
+/// Lowers a machine file's `[prefetch]` stack choice into the simulator's
+/// [`CompositeKind`] — the prefetch-side counterpart of
+/// [`SystemConfig::from_machine`]. The machine format stores the temporal
+/// metadata budget in KiB; the composite takes bytes.
+#[must_use]
+pub fn composite_from_stack(stack: PrefetchStack) -> CompositeKind {
+    match stack {
+        PrefetchStack::GsCsPmp => CompositeKind::GsCsPmp,
+        PrefetchStack::GsBertiCplx => CompositeKind::GsBertiCplx,
+        PrefetchStack::GsCsPmpTemporal { metadata_kb } => {
+            CompositeKind::GsCsPmpTemporal { metadata_bytes: u64::from(metadata_kb) * 1024 }
+        }
+        PrefetchStack::PmpOnly => CompositeKind::PmpOnly,
+        PrefetchStack::BertiOnly => CompositeKind::BertiOnly,
+    }
+}
 
 /// Full system configuration: core microarchitecture plus memory hierarchy.
 #[derive(Debug, Clone, PartialEq)]
@@ -247,6 +265,18 @@ mod tests {
         let rows = named.describe();
         assert_eq!(rows[0].0, "Machine");
         assert!(rows[0].1.contains("server"));
+    }
+
+    #[test]
+    fn prefetch_stacks_lower_to_composites() {
+        assert_eq!(composite_from_stack(PrefetchStack::GsCsPmp), CompositeKind::GsCsPmp);
+        assert_eq!(composite_from_stack(PrefetchStack::GsBertiCplx), CompositeKind::GsBertiCplx);
+        assert_eq!(composite_from_stack(PrefetchStack::PmpOnly), CompositeKind::PmpOnly);
+        assert_eq!(composite_from_stack(PrefetchStack::BertiOnly), CompositeKind::BertiOnly);
+        assert_eq!(
+            composite_from_stack(PrefetchStack::GsCsPmpTemporal { metadata_kb: 512 }),
+            CompositeKind::GsCsPmpTemporal { metadata_bytes: 512 * 1024 },
+        );
     }
 
     #[test]

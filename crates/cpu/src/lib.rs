@@ -41,7 +41,7 @@ pub mod rob;
 pub mod selection;
 pub mod system;
 
-pub use config::{CoreModelKind, SystemConfig};
+pub use config::{composite_from_stack, CoreModelKind, SystemConfig};
 pub use controller::PrefetchController;
 pub use core_model::CoreModel;
 pub use core_timing::{CoreEngine, CoreTiming};

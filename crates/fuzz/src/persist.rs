@@ -1,0 +1,359 @@
+//! Repro persistence and replay: a confirmed finding becomes three sibling
+//! files — a recorded `.altr` trace, the machine description it fired on,
+//! and a `key = value` manifest tying them together with the seeds, the
+//! oracle and the report digest replay must reproduce.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use machine::MachineSpec;
+
+use crate::oracle::{evaluate, report_digest, subject_report, Firing, OracleKind, OraclePanel};
+use crate::scenario::Scenario;
+
+/// Manifest format identifier (first line of every manifest).
+pub const MANIFEST_FORMAT: &str = "alecto-fuzz-repro-v1";
+
+/// The parsed contents of a repro manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Scenario benchmark name (`fuzz-<master_seed>-<index>`).
+    pub name: String,
+    /// The fuzz run's master seed.
+    pub master_seed: u64,
+    /// The scenario's position in that run.
+    pub scenario_index: u64,
+    /// The scenario's derived blend seed.
+    pub scenario_seed: u64,
+    /// The oracle that fired.
+    pub oracle: OracleKind,
+    /// Pathology threshold the run used, in percent.
+    pub threshold_pct: f64,
+    /// Access budget after shrinking.
+    pub accesses: usize,
+    /// Sibling machine-description file name.
+    pub machine: String,
+    /// Fingerprint the machine file must hash to.
+    pub machine_fingerprint: String,
+    /// Sibling `.altr` trace file name.
+    pub trace: String,
+    /// FNV-1a64 digest of the subject report replay must reproduce.
+    pub report_digest: u64,
+    /// Components shrinking removed (comma-separated in the file).
+    pub dropped: Vec<String>,
+    /// The firing oracle's description at persist time.
+    pub detail: String,
+}
+
+/// The three files a persisted finding consists of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproPaths {
+    /// The manifest.
+    pub manifest: PathBuf,
+    /// The recorded trace.
+    pub trace: PathBuf,
+    /// The machine description.
+    pub machine: PathBuf,
+}
+
+/// What replaying a manifest established.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// The manifest as parsed.
+    pub manifest: Manifest,
+    /// The oracle firing observed on replay, if any.
+    pub firing: Option<Firing>,
+    /// Digest of the replayed subject report.
+    pub digest: u64,
+    /// Whether the replayed digest matches the manifest.
+    pub digest_match: bool,
+}
+
+impl Replay {
+    /// True when the finding fully reproduced: the recorded oracle fired
+    /// again *and* the subject report digest matches byte-for-byte.
+    #[must_use]
+    pub fn reproduced(&self) -> bool {
+        self.digest_match && self.firing.as_ref().is_some_and(|f| f.oracle == self.manifest.oracle)
+    }
+}
+
+fn quote(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn unquote(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got {value}"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            other => {
+                return Err(format!("bad escape \\{}", other.map_or(String::new(), String::from)))
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl Manifest {
+    /// Renders the manifest as its on-disk `key = value` text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "format = {}", quote(MANIFEST_FORMAT));
+        let _ = writeln!(out, "name = {}", quote(&self.name));
+        let _ = writeln!(out, "master_seed = {}", self.master_seed);
+        let _ = writeln!(out, "scenario_index = {}", self.scenario_index);
+        let _ = writeln!(out, "scenario_seed = {}", self.scenario_seed);
+        let _ = writeln!(out, "oracle = {}", quote(self.oracle.label()));
+        let _ = writeln!(out, "threshold_pct = {}", quote(&format!("{}", self.threshold_pct)));
+        let _ = writeln!(out, "accesses = {}", self.accesses);
+        let _ = writeln!(out, "machine = {}", quote(&self.machine));
+        let _ = writeln!(out, "machine_fingerprint = {}", quote(&self.machine_fingerprint));
+        let _ = writeln!(out, "trace = {}", quote(&self.trace));
+        let _ =
+            writeln!(out, "report_digest = {}", quote(&format!("{:#018x}", self.report_digest)));
+        let _ = writeln!(out, "dropped = {}", quote(&self.dropped.join(",")));
+        let _ = writeln!(out, "detail = {}", quote(&self.detail));
+        out
+    }
+
+    /// Parses manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-qualified message on malformed syntax, unknown format
+    /// versions, missing keys, or out-of-range values.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut fields = std::collections::BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            fields.insert(key.trim().to_string(), (lineno + 1, value.trim().to_string()));
+        }
+        let get = |key: &str| -> Result<&(usize, String), String> {
+            fields.get(key).ok_or_else(|| format!("missing key {key}"))
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            let (lineno, raw) = get(key)?;
+            unquote(raw).map_err(|err| format!("line {lineno}: {key}: {err}"))
+        };
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            let (lineno, raw) = get(key)?;
+            raw.parse().map_err(|_| format!("line {lineno}: {key}: expected an integer, got {raw}"))
+        };
+
+        let format = get_str("format")?;
+        if format != MANIFEST_FORMAT {
+            return Err(format!(
+                "unknown manifest format {format:?} (expected {MANIFEST_FORMAT:?})"
+            ));
+        }
+        let oracle_label = get_str("oracle")?;
+        let oracle = OracleKind::from_label(&oracle_label)
+            .ok_or_else(|| format!("unknown oracle {oracle_label:?}"))?;
+        let threshold_raw = get_str("threshold_pct")?;
+        let threshold_pct: f64 = threshold_raw
+            .parse()
+            .map_err(|_| format!("threshold_pct: expected a number, got {threshold_raw}"))?;
+        let digest_raw = get_str("report_digest")?;
+        let report_digest = u64::from_str_radix(digest_raw.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("report_digest: expected a hex digest, got {digest_raw}"))?;
+        let dropped_raw = get_str("dropped")?;
+        let dropped = if dropped_raw.is_empty() {
+            Vec::new()
+        } else {
+            dropped_raw.split(',').map(str::to_string).collect()
+        };
+        let accesses = usize::try_from(get_u64("accesses")?)
+            .map_err(|_| "accesses exceeds this platform's usize".to_string())?;
+
+        Ok(Self {
+            name: get_str("name")?,
+            master_seed: get_u64("master_seed")?,
+            scenario_index: get_u64("scenario_index")?,
+            scenario_seed: get_u64("scenario_seed")?,
+            oracle,
+            threshold_pct,
+            accesses,
+            machine: get_str("machine")?,
+            machine_fingerprint: get_str("machine_fingerprint")?,
+            trace: get_str("trace")?,
+            report_digest,
+            dropped,
+            detail: get_str("detail")?,
+        })
+    }
+}
+
+/// Persists a (shrunk) finding into `dir` as the `<name>.altr`,
+/// `<name>.machine` and `<name>.manifest` triple, and returns the paths.
+/// The digest recorded in the manifest is computed from the *persisted*
+/// trace file, so replay compares like with like (and persisting doubles
+/// as an integrity check of the artifact it just wrote).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn persist_finding(
+    dir: &Path,
+    spec: &MachineSpec,
+    master_seed: u64,
+    scenario: &Scenario,
+    firing: &Firing,
+    threshold_pct: f64,
+    dropped: &[&str],
+) -> io::Result<ReproPaths> {
+    std::fs::create_dir_all(dir)?;
+    let stem = scenario.name().to_string();
+    let paths = ReproPaths {
+        manifest: dir.join(format!("{stem}.manifest")),
+        trace: dir.join(format!("{stem}.altr")),
+        machine: dir.join(format!("{stem}.machine")),
+    };
+
+    traceio::record_source(&scenario.source(), scenario.seed, &paths.trace)?;
+    std::fs::write(&paths.machine, spec.canonical_text())?;
+
+    let replay_source = traceio::file_source(&paths.trace, None)?;
+    let digest = report_digest(&subject_report(spec, &replay_source));
+
+    let manifest = Manifest {
+        name: stem,
+        master_seed,
+        scenario_index: scenario.index,
+        scenario_seed: scenario.seed,
+        oracle: firing.oracle,
+        threshold_pct,
+        accesses: scenario.accesses,
+        machine: paths
+            .machine
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+        machine_fingerprint: spec.fingerprint_hex(),
+        trace: paths
+            .trace
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+        report_digest: digest,
+        dropped: dropped.iter().map(|s| (*s).to_string()).collect(),
+        detail: firing.detail.clone(),
+    };
+    std::fs::write(&paths.manifest, manifest.render())?;
+    Ok(paths)
+}
+
+/// Replays a persisted repro: re-parses the machine, re-checks its
+/// fingerprint, replays the recorded trace through the single recorded
+/// oracle, and compares the subject-report digest against the manifest.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on manifest/machine parse or fingerprint errors and
+/// propagates I/O errors from the trace file.
+pub fn replay(manifest_path: &Path) -> io::Result<Replay> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let text = std::fs::read_to_string(manifest_path)?;
+    let manifest = Manifest::parse(&text)
+        .map_err(|err| invalid(format!("{}: {err}", manifest_path.display())))?;
+    let dir = manifest_path.parent().unwrap_or_else(|| Path::new("."));
+
+    let machine_path = dir.join(&manifest.machine);
+    let machine_text = std::fs::read_to_string(&machine_path)?;
+    let spec = machine::parse(&machine_text)
+        .map_err(|err| invalid(format!("{}: {err}", machine_path.display())))?;
+    if spec.fingerprint_hex() != manifest.machine_fingerprint {
+        return Err(invalid(format!(
+            "machine fingerprint mismatch: {} hashes to {}, manifest says {}",
+            machine_path.display(),
+            spec.fingerprint_hex(),
+            manifest.machine_fingerprint
+        )));
+    }
+
+    let source = traceio::file_source(&dir.join(&manifest.trace), None)?;
+    let panel = OraclePanel::only(manifest.oracle, manifest.threshold_pct);
+    let firing = evaluate(&spec, &source, &panel);
+    let digest = report_digest(&subject_report(&spec, &source));
+    let digest_match = digest == manifest.report_digest;
+    Ok(Replay { manifest, firing, digest, digest_match })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            name: "fuzz-000000000000002a-0003".to_string(),
+            master_seed: 42,
+            scenario_index: 3,
+            scenario_seed: 0xdead_beef,
+            oracle: OracleKind::Pathology,
+            threshold_pct: 5.0,
+            accesses: 1_000,
+            machine: "fuzz-000000000000002a-0003.machine".to_string(),
+            machine_fingerprint: "0x0123456789abcdef".to_string(),
+            trace: "fuzz-000000000000002a-0003.altr".to_string(),
+            report_digest: 0x1122_3344_5566_7788,
+            dropped: vec!["stream".to_string(), "noise".to_string()],
+            detail: "selector IPC 0.1000 trails \"best\" by 50%\nsecond line".to_string(),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_text() {
+        let manifest = sample_manifest();
+        let parsed = Manifest::parse(&manifest.render()).expect("round trip");
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn manifest_parse_rejects_malformed_input() {
+        assert!(Manifest::parse("").unwrap_err().contains("missing key"));
+        let bad_format =
+            sample_manifest().render().replace(MANIFEST_FORMAT, "alecto-fuzz-repro-v9");
+        assert!(Manifest::parse(&bad_format).unwrap_err().contains("unknown manifest format"));
+        let bad_oracle = sample_manifest().render().replace("\"pathology\"", "\"chaos\"");
+        assert!(Manifest::parse(&bad_oracle).unwrap_err().contains("unknown oracle"));
+        assert!(Manifest::parse("format\n").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn quoting_survives_hostile_strings() {
+        for s in ["", "plain", "with \"quotes\"", "back\\slash", "multi\nline"] {
+            assert_eq!(unquote(&quote(s)).unwrap(), s);
+        }
+        assert!(unquote("unquoted").is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Finding minimisation: peel components and halve the access budget while
+//! the original oracle keeps firing, so persisted repros are as small as the
+//! pathology allows.
+
+use machine::MachineSpec;
+
+use crate::oracle::{evaluate, Firing, OracleKind, OraclePanel};
+use crate::scenario::{component_weight, set_component_weight, Scenario};
+
+/// Shrinking never drives a scenario below this many accesses — a repro that
+/// fits one selector epoch is no longer exercising adaptation.
+pub const MIN_ACCESSES: usize = 500;
+
+/// A minimised scenario plus an account of what shrinking removed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shrunk {
+    /// The smallest scenario that still trips the oracle.
+    pub scenario: Scenario,
+    /// Components whose weights were zeroed, in drop order.
+    pub dropped: Vec<&'static str>,
+    /// How many times the access budget was halved.
+    pub halvings: u32,
+}
+
+/// Minimises `scenario` while `oracle` (re-checked in isolation at
+/// `pathology_threshold_pct`) keeps firing: first drop component weights in
+/// the fixed benign-first order, always keeping at least one component, then
+/// halve the access budget down to [`MIN_ACCESSES`].
+#[must_use]
+pub fn shrink(
+    spec: &MachineSpec,
+    scenario: &Scenario,
+    oracle: OracleKind,
+    pathology_threshold_pct: f64,
+) -> Shrunk {
+    let panel = OraclePanel::only(oracle, pathology_threshold_pct);
+    let still_fires = |candidate: &Scenario| -> bool {
+        matches!(evaluate(spec, &candidate.source(), &panel), Some(Firing { oracle: o, .. }) if o == oracle)
+    };
+
+    let mut current = scenario.clone();
+    let mut dropped = Vec::new();
+    for name in scenario.active_components() {
+        if current.active_components().len() <= 1 {
+            break;
+        }
+        let weight = component_weight(&current.blend, name);
+        if weight <= 0.0 {
+            continue;
+        }
+        let mut candidate = current.clone();
+        set_component_weight(&mut candidate.blend, name, 0.0);
+        if still_fires(&candidate) {
+            current = candidate;
+            dropped.push(name);
+        }
+    }
+
+    let mut halvings = 0;
+    while current.accesses / 2 >= MIN_ACCESSES {
+        let mut candidate = current.clone();
+        candidate.accesses /= 2;
+        if !still_fires(&candidate) {
+            break;
+        }
+        current = candidate;
+        halvings += 1;
+    }
+
+    Shrunk { scenario: current, dropped, halvings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A machine whose selector epoch is longer than any fuzz budget: the
+    /// bandit never collects a reward, so the selector cannot adapt — the
+    /// deliberately weak configuration the pathology oracle exists to catch.
+    fn weak_machine() -> MachineSpec {
+        let mut spec = MachineSpec::table1(1);
+        spec.selector_epoch_instructions = 1_000_000;
+        spec
+    }
+
+    #[test]
+    fn shrinking_preserves_the_firing_oracle() {
+        let spec = weak_machine();
+        // Hunt a pathology over a few seeds; at least one aliasing-heavy
+        // scenario must trip the weak machine.
+        let panel = OraclePanel::only(OracleKind::Pathology, 2.0);
+        let found = (0..24u64).find_map(|index| {
+            let scenario = Scenario::generate(42, index, 2_000, &spec);
+            evaluate(&spec, &scenario.source(), &panel).map(|firing| (scenario, firing))
+        });
+        let Some((scenario, firing)) = found else {
+            panic!("no pathology found on the weak machine in 24 scenarios");
+        };
+        let shrunk = shrink(&spec, &scenario, firing.oracle, 2.0);
+        assert!(shrunk.scenario.accesses <= scenario.accesses);
+        assert!(shrunk.scenario.accesses >= MIN_ACCESSES);
+        assert!(!shrunk.scenario.active_components().is_empty());
+        // The minimised scenario still trips the same oracle.
+        let refire = evaluate(&spec, &shrunk.scenario.source(), &panel).expect("still fires");
+        assert_eq!(refire.oracle, OracleKind::Pathology);
+    }
+}

@@ -164,7 +164,7 @@ pub fn fig1(scale: &RunScale) -> Experiment {
         let grid = run_single_core_suite(
             &workloads,
             &[SelectionAlgorithm::Ipcp, SelectionAlgorithm::Alecto],
-            CompositeKind::GsCsPmp,
+            scale.composite(CompositeKind::GsCsPmp),
             &system_config(scale, 1),
             scale.jobs,
         );
@@ -252,7 +252,7 @@ pub fn fig8(scale: &RunScale) -> Experiment {
     let grid = run_single_core_suite(
         &spec06_workloads(scale),
         &main_algorithms(),
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &system_config(scale, 1),
         scale.jobs,
     );
@@ -268,7 +268,7 @@ pub fn fig9(scale: &RunScale) -> Experiment {
     let grid = run_single_core_suite(
         &spec17_workloads(scale),
         &main_algorithms(),
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &system_config(scale, 1),
         scale.jobs,
     );
@@ -285,7 +285,7 @@ pub fn fig10(scale: &RunScale) -> Experiment {
     let grid = run_single_core_suite(
         &workloads,
         &main_algorithms(),
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &system_config(scale, 1),
         scale.jobs,
     );
@@ -517,7 +517,7 @@ pub fn fig15(scale: &RunScale) -> Experiment {
         let grid = run_single_core_suite(
             &workloads,
             &main_algorithms(),
-            CompositeKind::GsCsPmp,
+            scale.composite(CompositeKind::GsCsPmp),
             &config,
             scale.jobs,
         );
@@ -546,7 +546,7 @@ pub fn fig16(scale: &RunScale) -> Experiment {
         let grid = run_single_core_suite(
             &workloads,
             &main_algorithms(),
-            CompositeKind::GsCsPmp,
+            scale.composite(CompositeKind::GsCsPmp),
             &config,
             scale.jobs,
         );
@@ -582,7 +582,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         "SPEC06-mix",
         &spec06_mix,
         &algorithms,
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &config,
         scale.jobs,
     ));
@@ -597,7 +597,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
         "SPEC17-mix",
         &spec17_mix,
         &algorithms,
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &config,
         scale.jobs,
     ));
@@ -609,7 +609,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
             &format!("PARSEC-{bench}"),
             &per_core,
             &algorithms,
-            CompositeKind::GsCsPmp,
+            scale.composite(CompositeKind::GsCsPmp),
             &config,
             scale.jobs,
         ));
@@ -623,7 +623,7 @@ pub fn fig17(scale: &RunScale) -> Experiment {
             &format!("Ligra-{kernel}"),
             &per_core,
             &algorithms,
-            CompositeKind::GsCsPmp,
+            scale.composite(CompositeKind::GsCsPmp),
             &config,
             scale.jobs,
         ));
@@ -664,7 +664,7 @@ pub fn fig18(scale: &RunScale) -> Experiment {
     let grid = run_single_core_suite(
         &workloads,
         &[SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto],
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &config,
         scale.jobs,
     );
@@ -731,7 +731,7 @@ pub fn fig19(scale: &RunScale) -> Experiment {
             SelectionAlgorithm::AlectoFixedDegree(6),
             SelectionAlgorithm::Alecto,
         ],
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &system_config(scale, 1),
         scale.jobs,
     );
@@ -751,7 +751,7 @@ pub fn fig20(scale: &RunScale) -> Experiment {
             SelectionAlgorithm::PpfConservative,
             SelectionAlgorithm::Alecto,
         ],
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &system_config(scale, 1),
         scale.jobs,
     );
@@ -777,7 +777,7 @@ pub fn bandit_extended(scale: &RunScale) -> Experiment {
             SelectionAlgorithm::BanditExtended,
             SelectionAlgorithm::Alecto,
         ],
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &system_config(scale, 1),
         scale.jobs,
     );
@@ -818,6 +818,7 @@ pub fn stress(scale: &RunScale) -> Experiment {
         [SelectionAlgorithm::Ipcp, SelectionAlgorithm::Bandit6, SelectionAlgorithm::Alecto];
     let config = system_config(scale, 1);
     let mut grids = Vec::new();
+    let corpus = corpus_sources(scale.accesses);
     for mult in [1usize, 2, 4] {
         let accesses = scale.accesses.saturating_mul(mult);
         let sources: Vec<TraceSource> = [
@@ -835,13 +836,23 @@ pub fn stress(scale: &RunScale) -> Experiment {
         grids.push(run_single_core_suite(
             &sources,
             &algorithms,
-            CompositeKind::GsCsPmp,
+            scale.composite(CompositeKind::GsCsPmp),
+            &config,
+            scale.jobs,
+        ));
+    }
+    let corpus_count = corpus.len();
+    if !corpus.is_empty() {
+        grids.push(run_single_core_suite(
+            &corpus,
+            &algorithms,
+            scale.composite(CompositeKind::GsCsPmp),
             &config,
             scale.jobs,
         ));
     }
     let merged = merge_grids(grids);
-    Experiment::new(
+    let mut experiment = Experiment::new(
         "stress",
         "Access-count stress sweep over the scenario families (1x/2x/4x budget)",
         merged.to_table(),
@@ -850,7 +861,48 @@ pub fn stress(scale: &RunScale) -> Experiment {
     .with_note("traces are streamed: memory stays O(1) in the access budget at every multiplier")
     .with_note(
         "families: pointer chasing (linked-list), Zipfian web serving (web-cache), database join (hash-join), paper anchor (mcf)",
-    )
+    );
+    if corpus_count > 0 {
+        experiment = experiment.with_note(format!(
+            "corpus: {corpus_count} graduated repro trace(s) from ${STRESS_CORPUS_ENV}"
+        ));
+    }
+    experiment
+}
+
+/// Env var naming a directory whose `*.altr` traces graduate into the
+/// `stress` sweep: every readable trace in it (sorted by file name, so the
+/// sweep stays deterministic) is appended as a `file:`-backed benchmark at
+/// the scale's base access budget. Unset — the default everywhere except
+/// fuzzing workflows — leaves `stress` exactly as it always was.
+pub const STRESS_CORPUS_ENV: &str = "ALECTO_STRESS_CORPUS";
+
+/// The graduated-corpus sources for [`stress`], if [`STRESS_CORPUS_ENV`]
+/// names a directory.
+///
+/// # Panics
+///
+/// Panics if a corpus file cannot be opened or has a corrupt header —
+/// graduated repros are regression inputs, so a broken one must fail the
+/// sweep loudly rather than silently shrink it.
+fn corpus_sources(accesses: usize) -> Vec<TraceSource> {
+    let Some(dir) = std::env::var_os(STRESS_CORPUS_ENV) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "altr"))
+                .collect()
+        })
+        .unwrap_or_default();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| traces::Suite::File.source(&format!("file:{}", path.display()), accesses))
+        .collect()
 }
 
 /// The `timing` experiment: the cycle-level model's knobs made visible.
@@ -890,7 +942,7 @@ pub fn timing(scale: &RunScale) -> Experiment {
         grids.push(run_single_core_suite(
             &sources,
             &algorithms,
-            CompositeKind::GsCsPmp,
+            scale.composite(CompositeKind::GsCsPmp),
             &config,
             scale.jobs,
         ));
@@ -949,7 +1001,7 @@ pub fn replay(sources: &[TraceSource], scale: &RunScale) -> Experiment {
     let grid = run_single_core_suite(
         sources,
         &main_algorithms(),
-        CompositeKind::GsCsPmp,
+        scale.composite(CompositeKind::GsCsPmp),
         &system_config(scale, 1),
         scale.jobs,
     );

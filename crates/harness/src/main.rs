@@ -14,10 +14,16 @@
 //! alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]
 //!                      [--cache-capacity N] [--cache-dir PATH]
 //! alecto-harness trace record <benchmark> [--accesses N] --out PATH
-//! alecto-harness trace info <file.altr>
+//! alecto-harness trace info <file.altr> [--verify]
 //! alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N] [--batch N]
 //!                             [--machine NAME|FILE] [--core-model approx|ooo] [--json PATH]
 //! alecto-harness trace import <records.txt> --out PATH [--name NAME] [--memory-intensive]
+//! alecto-harness trace import --dir DIR [--out DIR] [--jobs N] [--memory-intensive]
+//! alecto-harness fuzz run [--seed N] [--budget N] [--accesses N] [--jobs N]
+//!                         [--machine NAME|FILE] [--oracle KINDS] [--threshold PCT]
+//!                         [--out DIR] [--no-shrink]
+//! alecto-harness fuzz repro <manifest>
+//! alecto-harness fuzz corpus <dir>
 //!
 //! experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12
 //!              fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext
@@ -48,13 +54,32 @@
 //! * `record` writes a registered benchmark's stream to a versioned binary
 //!   `.altr` file (see the `traceio` crate for the format);
 //! * `info` prints the trace header plus per-field statistics, verifying
-//!   the body checksum;
+//!   the body checksum; `--verify` additionally re-walks the block framing
+//!   and per-record encoding, exiting 2 with a block-numbered error on the
+//!   first structural defect or checksum mismatch;
 //! * `replay` drives the full hierarchy × selector grid of the paper's main
 //!   comparison from a trace — a `file:PATH` spec replays a recorded file,
 //!   a benchmark name runs the same grid from the generator, and the two
 //!   emit byte-identical `alecto-bench-v2` cells (CI's `trace-roundtrip`
 //!   job pins this);
-//! * `import` converts a ChampSim-style text/CSV dump into `.altr`.
+//! * `import` converts a ChampSim-style text/CSV dump into `.altr`;
+//!   `--dir DIR` bulk-imports every `.txt`/`.csv`/`.champsim` file in a
+//!   directory across a worker pool, continuing past per-file errors and
+//!   rendering a per-file summary table (exit 1 when any file failed).
+//!
+//! The `fuzz` subcommand family drives the adversarial scenario fuzzer (the
+//! `fuzz` crate; see ARCHITECTURE.md § Fuzzing):
+//!
+//! * `run` scans `--budget` seeded scenarios against the oracle panel
+//!   (sanity, determinism, pathology — subset via `--oracle a,b`); firing
+//!   scenarios are shrunk (unless `--no-shrink`) and, with `--out DIR`,
+//!   persisted as `.altr` + machine + manifest repro triples. The same
+//!   `--seed` and `--budget` produce byte-identical findings whatever
+//!   `--jobs` is. Exit 0 clean, 1 with findings, 2 on usage errors;
+//! * `repro` replays a persisted manifest and exits 0 only when the recorded
+//!   oracle fires again *and* the report digest matches byte-for-byte;
+//! * `corpus` tabulates the repro manifests in a directory — the corpus the
+//!   `stress` experiment graduates via `ALECTO_STRESS_CORPUS`.
 //!
 //! `serve` turns the harness into a long-running sweep server: experiments
 //! are submitted over HTTP (`POST /v1/sweep`), executed by a persistent
@@ -109,12 +134,19 @@ fn usage() -> ! {
          \x20      alecto-harness serve [--addr HOST:PORT] [--sweep-workers N] [--jobs N]\n\
          \x20                           [--cache-capacity N] [--cache-dir PATH]\n\
          \x20      alecto-harness trace record <benchmark> [--accesses N] --out PATH\n\
-         \x20      alecto-harness trace info <file.altr>\n\
+         \x20      alecto-harness trace info <file.altr> [--verify]\n\
          \x20      alecto-harness trace replay <benchmark|file:PATH> [--accesses N] [--jobs N]\n\
          \x20                                  [--batch N] [--machine NAME|FILE]\n\
          \x20                                  [--core-model approx|ooo] [--json PATH]\n\
          \x20      alecto-harness trace import <records.txt> --out PATH [--name NAME]\n\
          \x20                                  [--memory-intensive]\n\
+         \x20      alecto-harness trace import --dir DIR [--out DIR] [--jobs N]\n\
+         \x20                                  [--memory-intensive]\n\
+         \x20      alecto-harness fuzz run [--seed N] [--budget N] [--accesses N] [--jobs N]\n\
+         \x20                              [--machine NAME|FILE] [--oracle KINDS]\n\
+         \x20                              [--threshold PCT] [--out DIR] [--no-shrink]\n\
+         \x20      alecto-harness fuzz repro <manifest>\n\
+         \x20      alecto-harness fuzz corpus <dir>\n\
          experiments: table1 table2 table3 fig1 fig2 fig8 fig9 fig10 fig11 fig12\n\
          \x20            fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 bandit-ext\n\
          \x20            stress timing all quick\n\
@@ -147,6 +179,22 @@ fn usage() -> ! {
          \x20 --name NAME             benchmark name stamped into an imported trace's header\n\
          \x20                         (default: the input file stem)\n\
          \x20 --memory-intensive      mark an imported trace as memory intensive\n\
+         \x20 --verify                trace info: re-walk every block, re-checking framing,\n\
+         \x20                         record encoding and the FNV-1a64 body checksum; exits 2\n\
+         \x20                         with a block-numbered error on the first defect\n\
+         \x20 --dir DIR               trace import: bulk-import every .txt/.csv/.champsim\n\
+         \x20                         file in DIR on a worker pool (per-file summary table;\n\
+         \x20                         continues past failures, exit 1 if any file failed)\n\
+         \x20 --seed N                fuzz run: master seed (default 1); the same seed and\n\
+         \x20                         budget reproduce byte-identical findings at any --jobs\n\
+         \x20 --budget N              fuzz run: scenarios to generate and check (default 16)\n\
+         \x20 --oracle KINDS          fuzz run: comma-separated oracle subset out of\n\
+         \x20                         sanity,determinism,pathology (default: all three)\n\
+         \x20 --threshold PCT         fuzz run: allowed selector shortfall vs the best static\n\
+         \x20                         prefetcher stack before the pathology oracle fires\n\
+         \x20                         (default 5)\n\
+         \x20 --no-shrink             fuzz run: keep firing scenarios at full size instead of\n\
+         \x20                         dropping components / halving accesses\n\
          \x20 --tolerance PCT         compare: allowed speedup/IPC drop below the baseline\n\
          \x20                         in percent (default 5); exits 0 in-tolerance, 1 on\n\
          \x20                         regression with a per-cell diff, 2 on usage/parse errors\n\
@@ -431,6 +479,8 @@ fn run_trace(args: &[String]) -> ! {
     let mut json_path: Option<String> = None;
     let mut name: Option<String> = None;
     let mut memory_intensive = false;
+    let mut verify = false;
+    let mut dir: Option<String> = None;
     let mut positionals: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -472,6 +522,8 @@ fn run_trace(args: &[String]) -> ! {
             "--json" => json_path = Some(parse_path_value(rest, &mut i)),
             "--name" => name = Some(parse_path_value(rest, &mut i)),
             "--memory-intensive" => memory_intensive = true,
+            "--verify" => verify = true,
+            "--dir" => dir = Some(parse_path_value(rest, &mut i)),
             flag if flag.starts_with("--") => usage(),
             _ => positionals.push(&rest[i]),
         }
@@ -500,7 +552,7 @@ fn run_trace(args: &[String]) -> ! {
             );
             std::process::exit(0);
         }
-        ("info", [path]) => run_trace_info(path),
+        ("info", [path]) => run_trace_info(path, verify),
         ("replay", [spec]) => {
             if let Some(path) = &json_path {
                 check_writable(path, "--json");
@@ -536,6 +588,15 @@ fn run_trace(args: &[String]) -> ! {
             }
             std::process::exit(0);
         }
+        ("import", []) if dir.is_some() => {
+            // Bulk mode: --name makes no sense across many files (each trace
+            // is stamped with its own file stem), so reject the combination.
+            if name.is_some() {
+                eprintln!("error: --name does not apply to trace import --dir");
+                usage();
+            }
+            run_trace_import_dir(&dir.unwrap_or_default(), out.as_deref(), jobs, memory_intensive)
+        }
         ("import", [input]) => {
             let Some(out) = out else {
                 eprintln!("error: trace import needs --out PATH");
@@ -565,12 +626,123 @@ fn run_trace(args: &[String]) -> ! {
     }
 }
 
+/// `trace import --dir`: fan every ChampSim text file in `dir` across a
+/// worker pool, continuing past per-file failures, and render a per-file
+/// summary table. Exits 0 when every file imported, 1 when any failed, 2
+/// when the directory is unreadable or holds no importable files.
+fn run_trace_import_dir(
+    dir: &str,
+    out_dir: Option<&str>,
+    jobs: Option<usize>,
+    memory_intensive: bool,
+) -> ! {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|err| {
+        eprintln!("error: cannot read {dir}: {err}");
+        usage();
+    });
+    let mut inputs: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.extension().is_some_and(|ext| ext == "txt" || ext == "csv" || ext == "champsim")
+        })
+        .collect();
+    inputs.sort();
+    if inputs.is_empty() {
+        eprintln!("error: no .txt/.csv/.champsim files in {dir}");
+        std::process::exit(2);
+    }
+    let out_root = std::path::PathBuf::from(out_dir.unwrap_or(dir));
+    if let Err(err) = std::fs::create_dir_all(&out_root) {
+        eprintln!("error: cannot create {}: {err}", out_root.display());
+        usage();
+    }
+
+    // Independent files, independent workers: a work-stealing index pull
+    // like the experiment engine's, with results re-sorted by input order so
+    // the summary table is deterministic whatever the pool interleaving.
+    let workers = harness::effective_jobs(jobs.unwrap_or(0)).min(inputs.len()).max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    // (record count, output path) on success, a message naming the cause on
+    // failure; indexed by input position so the table re-sorts deterministically.
+    type ImportOutcome = Result<(u64, String), String>;
+    let results: std::sync::Mutex<Vec<(usize, ImportOutcome)>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(input) = inputs.get(index) else { break };
+                let stem = input
+                    .file_stem()
+                    .map_or_else(|| "imported".to_string(), |s| s.to_string_lossy().into_owned());
+                let out = out_root.join(format!("{stem}.altr"));
+                let out_str = out.to_string_lossy().into_owned();
+                let outcome = std::fs::File::open(input)
+                    .map_err(|err| format!("cannot read: {err}"))
+                    .and_then(|file| {
+                        write_trace_atomically(&out_str, |tmp| {
+                            traceio::import_text(
+                                std::io::BufReader::new(file),
+                                &stem,
+                                memory_intensive,
+                                tmp,
+                            )
+                        })
+                        .map_err(|err| err.to_string())
+                    })
+                    .map(|count| (count, out_str));
+                results.lock().expect("collector poisoned").push((index, outcome));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("collector poisoned");
+    results.sort_by_key(|(index, _)| *index);
+
+    let mut table = Table::new(vec!["input", "records", "output", "status"]);
+    let mut failed = 0usize;
+    for (index, outcome) in &results {
+        let input = inputs[*index].display().to_string();
+        match outcome {
+            Ok((count, out)) => {
+                table.push_row(vec![input, count.to_string(), out.clone(), "ok".to_string()]);
+            }
+            Err(err) => {
+                failed += 1;
+                table.push_row(vec![
+                    input,
+                    "-".to_string(),
+                    "-".to_string(),
+                    format!("failed: {err}"),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "imported {}/{} file(s) from {dir} on {workers} worker(s)",
+        results.len() - failed,
+        results.len()
+    );
+    std::process::exit(i32::from(failed > 0));
+}
+
 /// `trace info`: header fields plus one full verified decode pass of stats.
-fn run_trace_info(path: &str) -> ! {
+/// With `verify`, the block framing and record encoding are additionally
+/// re-walked ([`traceio::TraceReader::verify_blocks`]); any structural
+/// defect or checksum mismatch exits 2 with a block-numbered error.
+fn run_trace_info(path: &str, verify: bool) -> ! {
     let reader = traceio::TraceReader::open(std::path::Path::new(path)).unwrap_or_else(|err| {
         eprintln!("error: {err}");
         usage();
     });
+    let blocks_walked = if verify {
+        Some(reader.verify_blocks().unwrap_or_else(|err| {
+            eprintln!("error: {path}: {err}");
+            std::process::exit(2);
+        }))
+    } else {
+        None
+    };
     let stats = reader.stats().unwrap_or_else(|err| {
         eprintln!("error: {path}: {err}");
         std::process::exit(2);
@@ -584,7 +756,15 @@ fn run_trace_info(path: &str) -> ! {
         ("format version", traceio::FORMAT_VERSION.to_string()),
         ("generation seed", format!("{:#018x}", header.seed)),
         ("records", header.record_count.to_string()),
-        ("checksum", format!("{:#018x} (verified)", header.checksum)),
+        (
+            "checksum",
+            match blocks_walked {
+                Some(blocks) => {
+                    format!("{:#018x} (verified, {blocks} block(s) re-walked)", header.checksum)
+                }
+                None => format!("{:#018x} (verified)", header.checksum),
+            },
+        ),
         ("file size", format!("{bytes} bytes")),
         (
             "encoded size",
@@ -611,6 +791,181 @@ fn run_trace_info(path: &str) -> ! {
     }
     println!("{}", table.render());
     std::process::exit(0);
+}
+
+/// The `fuzz` subcommand family: run / repro / corpus (see the module docs
+/// for exit codes).
+fn run_fuzz_cli(args: &[String]) -> ! {
+    let Some(action) = args.first() else { usage() };
+    let rest = &args[1..];
+
+    let mut seed = 1u64;
+    let mut budget = 16u64;
+    let mut accesses = 4_000usize;
+    let mut jobs = 0usize;
+    let mut machine_arg: Option<String> = None;
+    let mut oracles: Option<Vec<fuzz::OracleKind>> = None;
+    let mut threshold = fuzz::DEFAULT_PATHOLOGY_THRESHOLD_PCT;
+    let mut out_dir: Option<String> = None;
+    let mut no_shrink = false;
+    let mut positionals: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--seed" => seed = parse_flag_value(rest, &mut i),
+            "--budget" => {
+                let n: u64 = parse_flag_value(rest, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                budget = n;
+            }
+            "--accesses" => {
+                let n: usize = parse_flag_value(rest, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                accesses = n;
+            }
+            "--jobs" => {
+                let n: usize = parse_flag_value(rest, &mut i);
+                if n == 0 {
+                    usage();
+                }
+                jobs = n;
+            }
+            "--machine" => machine_arg = Some(parse_path_value(rest, &mut i)),
+            "--oracle" => {
+                let labels: String = parse_flag_value(rest, &mut i);
+                let mut kinds = Vec::new();
+                for label in labels.split(',') {
+                    let Some(kind) = fuzz::OracleKind::from_label(label.trim()) else {
+                        eprintln!(
+                            "error: unknown oracle {label:?} (expected sanity, determinism or pathology)"
+                        );
+                        usage();
+                    };
+                    if !kinds.contains(&kind) {
+                        kinds.push(kind);
+                    }
+                }
+                if kinds.is_empty() {
+                    usage();
+                }
+                oracles = Some(kinds);
+            }
+            "--threshold" => {
+                let pct: f64 = parse_flag_value(rest, &mut i);
+                if !pct.is_finite() || pct < 0.0 {
+                    usage();
+                }
+                threshold = pct;
+            }
+            "--out" => out_dir = Some(parse_path_value(rest, &mut i)),
+            "--no-shrink" => no_shrink = true,
+            flag if flag.starts_with("--") => usage(),
+            _ => positionals.push(&rest[i]),
+        }
+        i += 1;
+    }
+
+    match (action.as_str(), &positionals[..]) {
+        ("run", []) => {
+            let machine_label = machine_arg.clone().unwrap_or_else(|| "table1".to_string());
+            let spec = machine_arg
+                .map_or_else(|| machine::MachineSpec::table1(1), |arg| resolve_machine(&arg));
+            // Check the repro destination up front, like --json/--out do:
+            // finding a pathology and then losing it to a typo'd path would
+            // throw the whole scan away.
+            if let Some(dir) = &out_dir {
+                if let Err(err) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: --out {dir}: {err}");
+                    usage();
+                }
+            }
+            let mut config = fuzz::FuzzConfig::new(seed, spec);
+            config.budget = budget;
+            config.accesses = accesses;
+            config.jobs = jobs;
+            if let Some(kinds) = oracles {
+                config.panel.kinds = kinds;
+            }
+            config.panel.pathology_threshold_pct = threshold;
+            config.out_dir = out_dir.map(Into::into);
+            config.shrink = !no_shrink;
+            let outcome = fuzz::run_fuzz(&config).unwrap_or_else(|err| {
+                eprintln!("error: persisting repro: {err}");
+                std::process::exit(1);
+            });
+            print!("{}", outcome.render(&machine_label, &config.panel));
+            std::process::exit(i32::from(!outcome.findings.is_empty()));
+        }
+        ("repro", [manifest]) => {
+            let replay = fuzz::replay(std::path::Path::new(manifest)).unwrap_or_else(|err| {
+                eprintln!("error: {err}");
+                std::process::exit(2);
+            });
+            println!(
+                "scenario = {} (oracle {})",
+                replay.manifest.name,
+                replay.manifest.oracle.label()
+            );
+            println!(
+                "digest = {:#018x} (manifest {:#018x}, {})",
+                replay.digest,
+                replay.manifest.report_digest,
+                if replay.digest_match { "match" } else { "MISMATCH" }
+            );
+            match &replay.firing {
+                Some(firing) => println!("oracle fired: {}", firing.detail),
+                None => println!("oracle did not fire"),
+            }
+            if replay.reproduced() {
+                println!("reproduced");
+                std::process::exit(0);
+            }
+            println!("NOT reproduced");
+            std::process::exit(1);
+        }
+        ("corpus", [dir]) => {
+            let entries = std::fs::read_dir(dir).unwrap_or_else(|err| {
+                eprintln!("error: cannot read {dir}: {err}");
+                usage();
+            });
+            let mut manifests: Vec<std::path::PathBuf> = entries
+                .filter_map(Result::ok)
+                .map(|entry| entry.path())
+                .filter(|path| path.extension().is_some_and(|ext| ext == "manifest"))
+                .collect();
+            manifests.sort();
+            let mut table = Table::new(vec!["manifest", "oracle", "accesses", "digest", "trace"]);
+            for path in &manifests {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+                    eprintln!("error: {}: {err}", path.display());
+                    std::process::exit(2);
+                });
+                let manifest = fuzz::Manifest::parse(&text).unwrap_or_else(|err| {
+                    eprintln!("error: {}: {err}", path.display());
+                    std::process::exit(2);
+                });
+                table.push_row(vec![
+                    manifest.name,
+                    manifest.oracle.label().to_string(),
+                    manifest.accesses.to_string(),
+                    format!("{:#018x}", manifest.report_digest),
+                    manifest.trace,
+                ]);
+            }
+            println!("{}", table.render());
+            println!(
+                "{} repro(s) in {dir}; export ALECTO_STRESS_CORPUS={dir} to graduate the .altr \
+                 traces into the `stress` experiment",
+                manifests.len()
+            );
+            std::process::exit(0);
+        }
+        _ => usage(),
+    }
 }
 
 fn parse_flag_value<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
@@ -641,6 +996,7 @@ fn main() {
         "machines" => run_machines(&args[1..]),
         "serve" => run_serve(&args[1..]),
         "trace" => run_trace(&args[1..]),
+        "fuzz" => run_fuzz_cli(&args[1..]),
         _ => {}
     }
     let mut quick = false;

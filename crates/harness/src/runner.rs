@@ -139,6 +139,19 @@ impl RunScale {
         self.machine.as_ref().map_or(default, |spec| spec.cores)
     }
 
+    /// The composite prefetcher stack experiment cells run: the machine's
+    /// pinned `[prefetch]` stack when the selected machine has one,
+    /// otherwise the experiment's own `default`. Figures whose *subject* is
+    /// a composite comparison (Figs. 11–14) keep their explicit composites
+    /// and do not consult this.
+    #[must_use]
+    pub fn composite(&self, default: CompositeKind) -> CompositeKind {
+        match self.machine.as_ref().and_then(|spec| spec.prefetch) {
+            Some(stack) => cpu::composite_from_stack(stack),
+            None => default,
+        }
+    }
+
     /// Resolves a scale request the way the CLI documents, in order: the
     /// preset (`quick` or default), then `accesses` (which also derives the
     /// per-core multi-core budget as `max(accesses / 3, 100)`, mirroring the

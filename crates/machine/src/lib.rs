@@ -58,6 +58,9 @@
 //!
 //! [timing]
 //! preset = "balanced"       # or explicit dram_drain_requests/_period
+//!
+//! [prefetch]                # optional: pin the composite stack
+//! stack = "gs-cs-pmp"       # gs-berti-cplx | gs-cs-pmp-temporal | pmp | berti
 //! ```
 //!
 //! Every key is optional except `format`, `name` and `cores`: omitted keys
@@ -73,7 +76,7 @@ mod spec;
 
 pub use parse::{compile_entries, parse, Entry, RawValue, FORMAT_VERSION};
 pub use registry::{builtin, load, BUILTIN_NAMES};
-pub use spec::{MachineSpec, TimingPreset, TimingSpec};
+pub use spec::{MachineSpec, PrefetchStack, TimingPreset, TimingSpec};
 
 /// Which timing model simulates each core.
 ///

@@ -7,7 +7,7 @@
 use alecto_types::CACHE_LINE_BYTES;
 use memsys::CacheParams;
 
-use crate::spec::{dram_from_label, MachineSpec, TimingPreset, TimingSpec};
+use crate::spec::{dram_from_label, MachineSpec, PrefetchStack, TimingPreset, TimingSpec};
 use crate::CoreModelKind;
 
 /// The format version this build reads and writes.
@@ -294,8 +294,10 @@ fn expected_keys(path: &str) -> &'static str {
         "preset, dram_drain_requests, dram_drain_period"
     } else if path.starts_with("selector.") {
         "epoch_instructions"
+    } else if path.starts_with("prefetch.") {
+        "stack, temporal_metadata_kb"
     } else if path.contains('.') {
-        "sections core, cache.l1d, cache.l2, cache.l3, dram, timing, selector"
+        "sections core, cache.l1d, cache.l2, cache.l3, dram, timing, selector, prefetch"
     } else {
         "format, name, cores"
     }
@@ -431,6 +433,40 @@ pub fn compile_entries(entries: &[Entry], inline: bool) -> Result<MachineSpec, S
         spec.selector_epoch_instructions = positive(epoch, line, "selector.epoch_instructions")?;
     }
 
+    let stack = pool.take_str("prefetch.stack")?;
+    let metadata = pool.take_int("prefetch.temporal_metadata_kb")?;
+    match (stack, metadata) {
+        (Some((label, line)), metadata) => {
+            let parsed = PrefetchStack::from_label(&label).ok_or_else(|| {
+                err_at(
+                    line,
+                    format!("unknown prefetch stack {label:?} (expected gs-cs-pmp, gs-berti-cplx, gs-cs-pmp-temporal, pmp or berti)"),
+                )
+            })?;
+            spec.prefetch = Some(match (parsed, metadata) {
+                (PrefetchStack::GsCsPmpTemporal { .. }, Some((kb, kb_line))) => {
+                    let key = "prefetch.temporal_metadata_kb";
+                    let kb = as_u32(positive(kb, kb_line, key)?, kb_line, key)?;
+                    PrefetchStack::GsCsPmpTemporal { metadata_kb: kb }
+                }
+                (stack, None) => stack,
+                (_, Some((_, kb_line))) => {
+                    return Err(err_at(
+                        kb_line,
+                        "`prefetch.temporal_metadata_kb` only applies to the \"gs-cs-pmp-temporal\" stack",
+                    ));
+                }
+            });
+        }
+        (None, Some((_, line))) => {
+            return Err(err_at(
+                line,
+                "`prefetch.temporal_metadata_kb` requires `prefetch.stack = \"gs-cs-pmp-temporal\"`",
+            ));
+        }
+        (None, None) => {}
+    }
+
     if let Some(entry) = pool.first_unused() {
         return Err(err_at(
             entry.line,
@@ -546,6 +582,41 @@ mod tests {
         assert!(err.contains("unsupported machine format version"), "{err}");
         let err = parse("name = \"t\"\ncores = 1\n").unwrap_err();
         assert!(err.contains("missing required key `format`"), "{err}");
+    }
+
+    #[test]
+    fn prefetch_section_pins_a_stack() {
+        let spec = parse(&minimal("[prefetch]\nstack = \"gs-berti-cplx\"\n")).unwrap();
+        assert_eq!(spec.prefetch, Some(PrefetchStack::GsBertiCplx));
+        let spec = parse(&minimal("[prefetch]\nstack = \"gs-cs-pmp-temporal\"\n")).unwrap();
+        assert_eq!(
+            spec.prefetch,
+            Some(PrefetchStack::GsCsPmpTemporal {
+                metadata_kb: PrefetchStack::DEFAULT_TEMPORAL_METADATA_KB
+            })
+        );
+        let spec = parse(&minimal(
+            "[prefetch]\nstack = \"gs-cs-pmp-temporal\"\ntemporal_metadata_kb = 1024\n",
+        ))
+        .unwrap();
+        assert_eq!(spec.prefetch, Some(PrefetchStack::GsCsPmpTemporal { metadata_kb: 1024 }));
+        assert_eq!(parse(&minimal("")).unwrap().prefetch, None);
+    }
+
+    #[test]
+    fn prefetch_errors_are_line_numbered() {
+        let err = parse(&minimal("[prefetch]\nstack = \"stride-only\"\n")).unwrap_err();
+        assert_eq!(
+            err,
+            "line 5: unknown prefetch stack \"stride-only\" (expected gs-cs-pmp, gs-berti-cplx, gs-cs-pmp-temporal, pmp or berti)"
+        );
+        let err = parse(&minimal("[prefetch]\nstack = \"pmp\"\ntemporal_metadata_kb = 64\n"))
+            .unwrap_err();
+        assert!(err.starts_with("line 6:"), "{err}");
+        assert!(err.contains("only applies"), "{err}");
+        let err = parse(&minimal("[prefetch]\ntemporal_metadata_kb = 64\n")).unwrap_err();
+        assert!(err.starts_with("line 5:"), "{err}");
+        assert!(err.contains("requires"), "{err}");
     }
 
     #[test]

@@ -76,6 +76,64 @@ impl TimingPreset {
     }
 }
 
+/// The composite prefetcher stack a machine selects via an optional
+/// `[prefetch]` section. Mirrors the simulator's composite bundles without
+/// depending on the prefetch crate: the machine format names stacks by
+/// stable lower-case labels, and `cpu` lowers the chosen stack to its
+/// `CompositeKind` at configuration time. A machine without a `[prefetch]`
+/// section leaves the experiment's own composite choice in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchStack {
+    /// GS + CS + PMP — the paper's default composite.
+    GsCsPmp,
+    /// GS + Berti + CPLX — the Fig. 11 alternate composite.
+    GsBertiCplx,
+    /// GS + CS + PMP plus a temporal prefetcher with the given metadata
+    /// budget (the Fig. 13/14 configuration).
+    GsCsPmpTemporal {
+        /// Temporal-prefetcher metadata budget in KiB.
+        metadata_kb: u32,
+    },
+    /// PMP alone (non-composite baseline).
+    PmpOnly,
+    /// Berti alone (non-composite baseline).
+    BertiOnly,
+}
+
+impl PrefetchStack {
+    /// Metadata budget written when a `gs-cs-pmp-temporal` stack omits
+    /// `temporal_metadata_kb`.
+    pub const DEFAULT_TEMPORAL_METADATA_KB: u32 = 256;
+
+    /// Stable lower-case label used in machine files.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::GsCsPmp => "gs-cs-pmp",
+            Self::GsBertiCplx => "gs-berti-cplx",
+            Self::GsCsPmpTemporal { .. } => "gs-cs-pmp-temporal",
+            Self::PmpOnly => "pmp",
+            Self::BertiOnly => "berti",
+        }
+    }
+
+    /// Parses a machine-file label; a temporal stack starts at
+    /// [`PrefetchStack::DEFAULT_TEMPORAL_METADATA_KB`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "gs-cs-pmp" => Some(Self::GsCsPmp),
+            "gs-berti-cplx" => Some(Self::GsBertiCplx),
+            "gs-cs-pmp-temporal" => {
+                Some(Self::GsCsPmpTemporal { metadata_kb: Self::DEFAULT_TEMPORAL_METADATA_KB })
+            }
+            "pmp" => Some(Self::PmpOnly),
+            "berti" => Some(Self::BertiOnly),
+            _ => None,
+        }
+    }
+}
+
 /// The label of a [`DramKind`] as written in machine files.
 #[must_use]
 pub(crate) const fn dram_label(kind: DramKind) -> &'static str {
@@ -137,6 +195,10 @@ pub struct MachineSpec {
     pub dram: DramKind,
     /// Memory-controller timing: preset or explicit.
     pub timing: TimingSpec,
+    /// Composite prefetcher stack the machine pins (`[prefetch]`), or
+    /// `None` to let the experiment choose. Only present specs render the
+    /// section, so machines written before the key keep their fingerprint.
+    pub prefetch: Option<PrefetchStack>,
 }
 
 impl MachineSpec {
@@ -171,6 +233,7 @@ impl MachineSpec {
             },
             dram: DramKind::Ddr4_2400,
             timing: TimingSpec::Preset(TimingPreset::Balanced),
+            prefetch: None,
         }
     }
 
@@ -215,6 +278,13 @@ impl MachineSpec {
     #[must_use]
     pub fn with_timing(mut self, timing: TimingParams) -> Self {
         self.timing = TimingSpec::Explicit(timing);
+        self
+    }
+
+    /// Same machine with the composite prefetcher stack pinned.
+    #[must_use]
+    pub fn with_prefetch(mut self, stack: PrefetchStack) -> Self {
+        self.prefetch = Some(stack);
         self
     }
 
@@ -286,6 +356,9 @@ impl MachineSpec {
         if self.selector_epoch_instructions == 0 {
             return Err("selector epoch_instructions must be at least 1".to_string());
         }
+        if let Some(PrefetchStack::GsCsPmpTemporal { metadata_kb: 0 }) = self.prefetch {
+            return Err("prefetch temporal_metadata_kb must be at least 1".to_string());
+        }
         for (label, level) in [("L1D", &self.l1d), ("L2", &self.l2), ("L3", &self.l3_per_core)] {
             if level.mshrs == 0 {
                 return Err(format!("{label}: cache must have at least one MSHR"));
@@ -346,6 +419,16 @@ impl MachineSpec {
         }
         let _ = writeln!(out, "\n[selector]");
         let _ = writeln!(out, "epoch_instructions = {}", self.selector_epoch_instructions);
+        // The section is rendered only when a stack is pinned, so every spec
+        // written before the key existed keeps its canonical text — and its
+        // fingerprint — unchanged.
+        if let Some(stack) = self.prefetch {
+            let _ = writeln!(out, "\n[prefetch]");
+            let _ = writeln!(out, "stack = \"{}\"", stack.label());
+            if let PrefetchStack::GsCsPmpTemporal { metadata_kb } = stack {
+                let _ = writeln!(out, "temporal_metadata_kb = {metadata_kb}");
+            }
+        }
         out
     }
 
@@ -442,5 +525,36 @@ mod tests {
             base.clone().with_timing(TimingParams::balanced()).fingerprint()
         );
         assert_eq!(base.fingerprint_hex().len(), 16);
+    }
+
+    #[test]
+    fn prefetch_section_renders_only_when_pinned() {
+        let base = MachineSpec::table1(1);
+        assert!(!base.canonical_text().contains("[prefetch]"));
+        let pinned = base.clone().with_prefetch(PrefetchStack::BertiOnly);
+        assert!(pinned.canonical_text().contains("[prefetch]\nstack = \"berti\"\n"));
+        assert_ne!(base.fingerprint(), pinned.fingerprint());
+        let temporal =
+            base.clone().with_prefetch(PrefetchStack::GsCsPmpTemporal { metadata_kb: 512 });
+        assert!(temporal.canonical_text().contains("temporal_metadata_kb = 512"));
+        assert!(temporal.validate().is_ok());
+        let degenerate = base.with_prefetch(PrefetchStack::GsCsPmpTemporal { metadata_kb: 0 });
+        assert!(degenerate.validate().unwrap_err().contains("temporal_metadata_kb"));
+    }
+
+    #[test]
+    fn prefetch_labels_round_trip() {
+        for stack in [
+            PrefetchStack::GsCsPmp,
+            PrefetchStack::GsBertiCplx,
+            PrefetchStack::GsCsPmpTemporal {
+                metadata_kb: PrefetchStack::DEFAULT_TEMPORAL_METADATA_KB,
+            },
+            PrefetchStack::PmpOnly,
+            PrefetchStack::BertiOnly,
+        ] {
+            assert_eq!(PrefetchStack::from_label(stack.label()), Some(stack));
+        }
+        assert_eq!(PrefetchStack::from_label("ampm"), None);
     }
 }

@@ -148,6 +148,30 @@ mod tests {
     }
 
     #[test]
+    fn verify_blocks_walks_and_localises_corruption() {
+        let records = sample_records(100);
+        let bytes = encode(&records, 16); // 6 full blocks + 1 partial
+        let path = std::env::temp_dir().join(format!("traceio-verify-{}.altr", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(TraceReader::open(&path).unwrap().verify_blocks().unwrap(), 7);
+
+        // A flipped payload byte either breaks a block's structure or the
+        // body checksum; both errors name blocks.
+        let mut corrupt = bytes.clone();
+        let target = bytes.len() - 3;
+        corrupt[target] ^= 0x40;
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = TraceReader::open(&path).unwrap().verify_blocks().unwrap_err().to_string();
+        assert!(err.contains("block"), "{err}");
+
+        // Truncation is pinned to the block where the walk ran dry.
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let err = TraceReader::open(&path).unwrap().verify_blocks().unwrap_err().to_string();
+        assert!(err.starts_with("block 7:"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn file_spec_path_strips_the_scheme() {
         assert_eq!(file_spec_path("file:/tmp/a.altr").unwrap().to_str(), Some("/tmp/a.altr"));
         assert!(file_spec_path("mcf").is_none());

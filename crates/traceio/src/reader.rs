@@ -331,6 +331,105 @@ impl TraceReader {
         Ok(stats)
     }
 
+    /// Re-walks the trace block by block, checking every block's structure
+    /// (frame varints, record payloads, header record count) and finally the
+    /// FNV-1a64 body checksum against the header's stored value — the check
+    /// `trace info --verify` runs. Returns the number of blocks walked.
+    ///
+    /// Unlike [`TraceReader::stats`], which detects corruption as a side
+    /// effect of decoding records, this pass is about *localising* it:
+    /// structural errors name the 1-based block (and record within it) where
+    /// the walk failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] with a `block N:`-prefixed
+    /// message for structural corruption, and a block-count-qualified
+    /// checksum-mismatch message when the body hashes to something other
+    /// than the header's stored checksum.
+    pub fn verify_blocks(&self) -> io::Result<u64> {
+        let block_err = |block: u64, msg: String| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("block {block}: {msg}"))
+        };
+        let mut reader = BufReader::new(File::open(&self.path)?);
+        TraceHeader::decode(&mut reader)?;
+        let mut checksum = format::FNV_OFFSET;
+        let mut remaining = self.header.record_count;
+        let mut blocks: u64 = 0;
+        while remaining > 0 {
+            let block = blocks + 1;
+            let Some((records, payload_len)) =
+                read_block_frame(&mut reader).map_err(|err| block_err(block, err.to_string()))?
+            else {
+                return Err(block_err(
+                    block,
+                    format!("trace ends {remaining} record(s) early (truncated file?)"),
+                ));
+            };
+            if records == 0 {
+                return Err(block_err(block, "empty block".to_string()));
+            }
+            if records > remaining {
+                return Err(block_err(
+                    block,
+                    format!(
+                        "block of {records} record(s) overruns the header count by {}",
+                        records - remaining
+                    ),
+                ));
+            }
+            let mut frame = Vec::with_capacity(2 * varint::MAX_VARINT_BYTES);
+            varint::encode_u64(records, &mut frame);
+            varint::encode_u64(payload_len, &mut frame);
+            checksum = format::fnv1a(checksum, &frame);
+            let len = usize::try_from(payload_len).map_err(|_| {
+                block_err(block, format!("payload length {payload_len} exceeds usize"))
+            })?;
+            let mut payload = vec![0u8; len];
+            reader.read_exact(&mut payload).map_err(|err| {
+                block_err(block, format!("payload of {payload_len} byte(s) is truncated: {err}"))
+            })?;
+            checksum = format::fnv1a(checksum, &payload);
+            // The payload must hold exactly `records` delta triples.
+            let mut cursor = io::Cursor::new(&payload[..]);
+            for record in 0..records {
+                let triple = varint::decode_i64(&mut cursor)
+                    .and_then(|_| varint::decode_i64(&mut cursor))
+                    .and_then(|_| varint::decode_u64(&mut cursor));
+                if let Err(err) = triple {
+                    return Err(block_err(block, format!("record {}: {err}", record + 1)));
+                }
+            }
+            let undecoded = payload_len - cursor.position();
+            if undecoded != 0 {
+                return Err(block_err(
+                    block,
+                    format!("payload carries {undecoded} undecoded byte(s) after the last record"),
+                ));
+            }
+            remaining -= records;
+            blocks = block;
+        }
+        let mut tail = [0u8; 1];
+        if reader.read(&mut tail)? != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trailing bytes after block {blocks}"),
+            ));
+        }
+        if checksum != self.header.checksum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "body checksum mismatch over {blocks} block(s): blocks hash to \
+                     {checksum:#018x}, header says {:#018x} (corrupt or hand-edited trace)",
+                    self.header.checksum
+                ),
+            ));
+        }
+        Ok(blocks)
+    }
+
     /// A lazy [`TraceSource`] replaying the file, optionally capped to the
     /// first `cap` records. Every replay re-opens the file; a file that is
     /// deleted or corrupted *between* `open` and a replay makes that replay

@@ -4,8 +4,8 @@
 use alecto_types::{TraceSource, Workload};
 
 use crate::patterns::{
-    delta_chain, interleave_weighted, interleave_weighted_iter, looping_stream, pointer_chase,
-    random_noise, spatial_pages, stream, strided, zipfian, Component,
+    delta_chain, interleave_weighted, interleave_weighted_iter, looping_stream, phase_shift,
+    pointer_chase, random_noise, set_aliasing, spatial_pages, stream, strided, zipfian, Component,
 };
 
 /// Pattern mixture and intensity of one benchmark.
@@ -36,6 +36,24 @@ pub struct Blend {
     /// key-value-store request mix: heavily recurring hot objects with an
     /// unpredictable long tail.
     pub zipf: f64,
+    /// Weight of conflict-thrash components walking set-aliasing offsets
+    /// (every access maps to the same cache set — see
+    /// [`crate::patterns::set_aliasing`]). Adversarial: the fuzzer's
+    /// thrashing ingredient.
+    pub alias: f64,
+    /// Weight of phase-shifting components that flip between streaming and
+    /// scatter behaviour every [`Blend::phase_period`] accesses
+    /// ([`crate::patterns::phase_shift`]). Adversarial: defeats epoch-based
+    /// adaptation.
+    pub phase: f64,
+    /// Byte stride of the set-aliasing walk (a multiple of `sets ×
+    /// line_bytes` of the targeted cache level aliases perfectly).
+    pub alias_stride: u64,
+    /// Distinct lines in the set-aliasing footprint (more than the targeted
+    /// level's associativity guarantees conflict misses).
+    pub alias_lines: usize,
+    /// Accesses per phase of the phase-shifting component.
+    pub phase_period: u32,
     /// Average non-memory instructions between accesses (memory intensity).
     pub gap: u32,
     /// Number of nodes in the pointer-chase working set.
@@ -191,6 +209,26 @@ impl Blend {
                 &mut components,
             );
         }
+        // Conflict thrashing: a round-robin walk over set-aliasing offsets.
+        add(
+            set_aliasing(
+                0x4_9000,
+                0x5_0000_0000,
+                self.alias_stride.max(64),
+                self.alias_lines.max(2),
+                gap,
+            ),
+            self.alias,
+            &mut weights,
+            &mut components,
+        );
+        // Phase-shifting interleave: streaming then scatter, repeating.
+        add(
+            phase_shift(0x4_a000, 0x6_0000_0000, self.phase_period.max(1), gap, seed ^ 0x5),
+            self.phase,
+            &mut weights,
+            &mut components,
+        );
 
         (components, weights)
     }
@@ -247,10 +285,15 @@ impl BlendBuilder {
                 resident: 0.0,
                 noise: 0.0,
                 zipf: 0.0,
+                alias: 0.0,
+                phase: 0.0,
                 gap: 30,
                 chase_nodes: 2_000,
                 zipf_objects: 16_384,
                 zipf_theta: 0.99,
+                alias_stride: 4_096,
+                alias_lines: 32,
+                phase_period: 2_048,
                 seed,
             },
         }
@@ -323,6 +366,38 @@ impl BlendBuilder {
     #[must_use]
     pub fn zipf(mut self, w: f64) -> Self {
         self.blend.zipf = w;
+        self
+    }
+
+    /// Sets the set-aliasing conflict-thrash weight.
+    #[must_use]
+    pub fn alias(mut self, w: f64) -> Self {
+        self.blend.alias = w;
+        self
+    }
+
+    /// Sets the byte stride and footprint (in lines) of the set-aliasing
+    /// walk. A stride that is a multiple of `sets × 64` for a cache level
+    /// aliases into a single set of that level; a footprint wider than its
+    /// associativity then conflicts on every revisit.
+    #[must_use]
+    pub fn alias_geometry(mut self, stride_bytes: u64, footprint_lines: usize) -> Self {
+        self.blend.alias_stride = stride_bytes;
+        self.blend.alias_lines = footprint_lines;
+        self
+    }
+
+    /// Sets the phase-shifting interleave weight.
+    #[must_use]
+    pub fn phase(mut self, w: f64) -> Self {
+        self.blend.phase = w;
+        self
+    }
+
+    /// Sets the accesses-per-phase period of the phase-shifting component.
+    #[must_use]
+    pub fn phase_period(mut self, period: u32) -> Self {
+        self.blend.phase_period = period;
         self
     }
 

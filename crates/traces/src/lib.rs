@@ -36,8 +36,8 @@ pub mod web;
 
 pub use blend::{derive_seed, Blend, BlendBuilder};
 pub use patterns::{
-    delta_chain, interleave_weighted, interleave_weighted_iter, looping_stream, pointer_chase,
-    random_noise, spatial_pages, stream, strided, zipfian,
+    delta_chain, interleave_weighted, interleave_weighted_iter, looping_stream, phase_shift,
+    pointer_chase, random_noise, set_aliasing, spatial_pages, stream, strided, zipfian,
 };
 
 use alecto_types::{TraceSource, Workload};

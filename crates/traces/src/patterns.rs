@@ -184,6 +184,68 @@ pub fn zipfian(
     })
 }
 
+/// Conflict-miss thrashing via set-aliasing offsets: a round-robin walk over
+/// `footprint_lines` addresses spaced exactly `set_stride_bytes` apart. When
+/// the stride is a multiple of `sets × line_bytes` for a cache level, every
+/// address maps to the *same* set, so any footprint wider than the
+/// associativity evicts on every revisit — the classic conflict-thrash
+/// pathology the scenario fuzzer plants against selector configurations.
+/// The walk itself is perfectly periodic (a stride prefetcher *can* learn
+/// it), which is what makes it adversarial: prefetches into the aliased set
+/// thrash exactly like the demand stream does.
+///
+/// # Panics
+///
+/// Panics if the stride is zero or the footprint has fewer than two lines.
+#[must_use]
+pub fn set_aliasing(
+    pc: u64,
+    base: u64,
+    set_stride_bytes: u64,
+    footprint_lines: usize,
+    gap: u32,
+) -> Component {
+    assert!(set_stride_bytes > 0, "set-aliasing stride must be positive");
+    assert!(footprint_lines > 1, "set-aliasing thrash needs at least two lines");
+    let mut idx: u64 = 0;
+    Box::new(move || {
+        let addr = base + (idx % footprint_lines as u64) * set_stride_bytes;
+        idx += 1;
+        MemoryRecord::load(Pc::new(pc), Addr::new(addr), gap)
+    })
+}
+
+/// A phase-shifting access stream: `period` accesses of a well-behaved
+/// unit-stride stream, then `period` accesses of seeded far jumps, repeating.
+/// The behaviour flips right about when an epoch-based selector has adapted
+/// to the previous phase, so whatever it learned is stale by the time it
+/// acts — the anti-adaptation pathology the fuzzer hunts with.
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+#[must_use]
+pub fn phase_shift(pc: u64, base: u64, period: u32, gap: u32, seed: u64) -> Component {
+    assert!(period > 0, "phase period must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base_line = base >> 6;
+    let mut line = base_line;
+    let mut idx: u64 = 0;
+    Box::new(move || {
+        let streaming = (idx / u64::from(period)).is_multiple_of(2);
+        idx += 1;
+        if streaming {
+            line += 1;
+        } else {
+            // Scatter phase: jump anywhere in a DRAM-sized window; the draw
+            // is consumed only in this phase so the stream phase stays a
+            // pure function of `idx`.
+            line = base_line + rng.gen_range(0..(1u64 << 22));
+        }
+        MemoryRecord::load(Pc::new(pc), Addr::new(line << 6), gap)
+    })
+}
+
 /// Streaming form of [`interleave_weighted`]: an *unbounded* iterator that
 /// draws from `components` with probability proportional to `weights`,
 /// deterministically for a given `seed`. The eager variant collects exactly
@@ -329,6 +391,34 @@ mod tests {
         let distinct: HashSet<u64> = addrs.iter().copied().collect();
         assert!(distinct.len() > 150);
         assert!(addrs.iter().all(|&a| ((1 << 30)..(1 << 30) + (1 << 20) + 64).contains(&a)));
+    }
+
+    #[test]
+    fn set_aliasing_revisits_the_same_set() {
+        // Stride 4096 = 64 sets × 64 B: every address shares L1 set 0.
+        let mut s = set_aliasing(0x26, 0x100_000, 4096, 3, 1);
+        let addrs: Vec<u64> = (0..7).map(|_| s().addr.raw()).collect();
+        assert_eq!(addrs[0], addrs[3], "the footprint must recur");
+        assert_eq!(addrs[1] - addrs[0], 4096);
+        assert!(addrs.iter().all(|a| a.is_multiple_of(4096) || a % 4096 == addrs[0] % 4096));
+    }
+
+    #[test]
+    fn phase_shift_alternates_stream_and_scatter() {
+        let mut s = phase_shift(0x28, 0x200_000, 4, 1, 9);
+        let lines: Vec<u64> = (0..8).map(|_| s().addr.line().raw()).collect();
+        // First phase is unit stride...
+        assert_eq!(lines[1] - lines[0], 1);
+        assert_eq!(lines[3] - lines[2], 1);
+        // ...second phase scatters (at least one jump far beyond stride 1).
+        assert!(
+            (4..8).any(|i| lines[i].abs_diff(lines[i - 1]) > 16),
+            "scatter phase must jump, got {lines:?}"
+        );
+        // Determinism: the same seed replays the same stream.
+        let mut a = phase_shift(0x28, 0x200_000, 4, 1, 9);
+        let mut b = phase_shift(0x28, 0x200_000, 4, 1, 9);
+        assert!((0..64).all(|_| a().addr == b().addr));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`traces`] — synthetic SPEC/PARSEC/Ligra-like workload generators.
 //! * [`traceio`] — the `.altr` binary trace record/replay format and the
 //!   ChampSim-style external trace importer.
+//! * [`fuzz`] — the adversarial scenario fuzzer: seeded blend composition,
+//!   pathology oracles, shrinking, and persisted `.altr` repros.
 //! * [`harness`] — the experiment runner that regenerates every figure and
 //!   table of the paper's evaluation.
 //!
@@ -33,6 +35,7 @@
 pub use alecto;
 pub use alecto_types as types;
 pub use cpu;
+pub use fuzz;
 pub use harness;
 pub use machine;
 pub use memsys;
@@ -44,7 +47,7 @@ pub use traces;
 /// Convenience re-exports used by the examples and integration tests.
 pub mod prelude {
     pub use crate::{
-        alecto, cpu, harness, machine, memsys, prefetch, selectors, traceio, traces, types,
+        alecto, cpu, fuzz, harness, machine, memsys, prefetch, selectors, traceio, traces, types,
     };
     pub use cpu::{CompositeKind, SelectionAlgorithm, SystemConfig};
 }
